@@ -1,0 +1,69 @@
+// Command gcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gcbench -table 4               # Table 4 (generational collector sweep)
+//	gcbench -table 5 -repeat 0.05  # Table 5 at a larger workload scale
+//	gcbench -figure 2              # Figure 2 heap profiles
+//	gcbench -experiment elide      # §7.2 scan-elision extension
+//	gcbench -experiment all        # everything, in paper order
+//	gcbench -list                  # list benchmarks and experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilgc/gcsim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table N (1-7)")
+	figure := flag.Int("figure", 0, "regenerate figure N (2)")
+	experiment := flag.String("experiment", "", "named experiment (see -list), or 'all'")
+	repeat := flag.Float64("repeat", gcsim.DefaultScale.Repeat,
+		"workload repetition scale (1.0 = the paper's full iteration counts)")
+	depth := flag.Float64("depth", 1.0,
+		"structural recursion depth scale (1.0 = the paper's stack-depth profile)")
+	list := flag.Bool("list", false, "list benchmarks and experiments")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Benchmarks:")
+		for _, n := range gcsim.Benchmarks() {
+			info, _ := gcsim.Describe(n)
+			fmt.Printf("  %-13s %s\n", n, info.Description)
+		}
+		fmt.Println("Experiments:")
+		for _, e := range gcsim.Experiments() {
+			fmt.Printf("  %s\n", e)
+		}
+		return
+	}
+
+	scale := gcsim.Scale{Repeat: *repeat, Depth: *depth}
+	run := func(name string) {
+		if err := gcsim.Experiment(os.Stdout, name, scale); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *table >= 1 && *table <= 7:
+		run(fmt.Sprintf("table%d", *table))
+	case *figure == 2:
+		run("figure2")
+	case *experiment == "all":
+		fmt.Printf("(workload scale: repeat=%g depth=%g; see EXPERIMENTS.md)\n", *repeat, *depth)
+		for _, e := range gcsim.Experiments() {
+			run(e)
+		}
+	case *experiment != "":
+		run(*experiment)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a simulated runtime with the generational collector,
+// allocate heap structures through the slot-oriented mutator API, and
+// inspect the collector's behaviour.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"tilgc/gcsim"
+)
+
+func main() {
+	// A generational collector with a deliberately small nursery so this
+	// tiny program still triggers collections.
+	rt := gcsim.NewRuntime(gcsim.Config{
+		Collector:    gcsim.Generational,
+		NurseryWords: 1024, // 8KB
+	})
+	m := rt.Mutator()
+
+	// Register a frame layout: two pointer slots the collector will trace.
+	frame := m.PtrFrame("main", 2)
+
+	const site gcsim.SiteID = 1
+
+	m.Call(frame, func() {
+		// Build a 10,000-cell list in slot 1. Every allocation may move
+		// previously allocated cells; the collector rewrites slot 1 for
+		// us whenever that happens — the mutator never sees a stale
+		// pointer as long as it keeps live references in traced slots.
+		for i := uint64(0); i < 10_000; i++ {
+			m.ConsInt(site, i*i, 1, 1)
+		}
+
+		// Walk the list (slot 2 is the cursor) and sum the heads.
+		m.SetSlot(2, m.Slot(1))
+		var sum uint64
+		for !m.IsNil(2) {
+			sum += m.HeadInt(2)
+			m.Tail(2, 2)
+		}
+		fmt.Printf("sum of 10k squares: %d\n", sum)
+
+		// Drop the list and collect: the heap empties.
+		m.SetSlotNil(1)
+	})
+	rt.Collect(true)
+
+	s := rt.Stats()
+	fmt.Printf("collector:        %s\n", rt.CollectorName())
+	fmt.Printf("collections:      %d (%d major)\n", s.NumGC, s.NumMajor)
+	fmt.Printf("allocated:        %d KB in %d objects\n", s.BytesAllocated/1024, s.ObjectsAllocated)
+	fmt.Printf("copied:           %d KB\n", s.BytesCopied/1024)
+	fmt.Printf("max live:         %d KB\n", s.MaxLiveBytes/1024)
+	fmt.Printf("simulated client: %.4fs   gc: %.4fs\n", rt.ClientSeconds(), rt.GCSeconds())
+}

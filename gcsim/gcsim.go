@@ -1,0 +1,342 @@
+// Package gcsim is the public API of tilgc: a simulated-runtime
+// reproduction of "Generational Stack Collection and Profile-Driven
+// Pretenuring" (Cheng, Harper, Lee — PLDI 1998).
+//
+// The package exposes three layers:
+//
+//   - Runtime construction: NewRuntime builds a simulated mutator runtime
+//     (arena heap, activation-record stack with trace tables, register
+//     file, write barrier) paired with one of the paper's collectors,
+//     configured through Config. User programs drive it through the
+//     slot-oriented Mutator API.
+//
+//   - Benchmarks: the paper's eleven SML benchmark programs, runnable by
+//     name under any collector configuration with deterministic
+//     self-checks.
+//
+//   - Experiments: the harness regenerating every table and figure of the
+//     paper's evaluation (Tables 2-7, Figure 2) plus the §7.2 and §4
+//     extensions.
+//
+// A minimal program:
+//
+//	rt := gcsim.NewRuntime(gcsim.Config{Collector: gcsim.Generational})
+//	m := rt.Mutator()
+//	frame := m.PtrFrame("main", 2)
+//	m.Call(frame, func() {
+//	    m.ConsInt(1, 42, 1, 1) // cons 42 onto the nil list in slot 1
+//	})
+package gcsim
+
+import (
+	"fmt"
+	"io"
+
+	"tilgc/internal/core"
+	"tilgc/internal/costmodel"
+	"tilgc/internal/harness"
+	"tilgc/internal/obj"
+	"tilgc/internal/prof"
+	"tilgc/internal/rt"
+	"tilgc/internal/workload"
+)
+
+// CollectorChoice selects a collector configuration.
+type CollectorChoice int
+
+const (
+	// Generational (the zero value, and the default) is the
+	// two-generation collector with immediate promotion and a
+	// sequential-store-buffer write barrier (§2.1).
+	Generational CollectorChoice = iota
+	// Semispace is the Cheney-scan semispace baseline (§2.1).
+	Semispace
+	// GenerationalMarkers adds generational stack collection (§5).
+	GenerationalMarkers
+	// GenerationalFull adds profile-driven pretenuring on top (§6); a
+	// pretenuring policy must be supplied (see Profile / PolicyFromProfile).
+	GenerationalFull
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Collector picks the collector; default Generational.
+	Collector CollectorChoice
+	// BudgetWords caps total collector memory in 8-byte words
+	// (0 = 512Mi words, effectively unconstrained).
+	BudgetWords uint64
+	// NurseryWords sizes the young generation (default 65536 = 512KB).
+	NurseryWords uint64
+	// MarkerN is the stack-marker spacing n (default 25).
+	MarkerN int
+	// Pretenure supplies the per-site pretenuring decisions for
+	// GenerationalFull.
+	Pretenure *PretenurePolicy
+	// ScanElision enables the §7.2 pretenured-region scan elision.
+	ScanElision bool
+	// CardTable replaces the SSB with card marking (§4 alternative).
+	CardTable bool
+	// AgingMinors disables immediate promotion: nursery survivors age
+	// through an intermediate space for this many further minor
+	// collections before tenuring (§7.2 discussion). Zero = the paper's
+	// immediate promotion.
+	AgingMinors int
+	// Profile attaches a heap profiler (Figure 2 data; slows the run).
+	Profile bool
+	// SiteNames documents allocation sites in profile reports.
+	SiteNames map[SiteID]string
+}
+
+// Re-exported building blocks.
+type (
+	// Mutator is the slot-oriented mutator API programs are written in.
+	Mutator = workload.Mutator
+	// PretenurePolicy maps allocation sites to pretenure decisions.
+	PretenurePolicy = core.PretenurePolicy
+	// PretenureDecision configures one pretenured site.
+	PretenureDecision = core.PretenureDecision
+	// SiteID identifies an allocation site.
+	SiteID = obj.SiteID
+	// Profiler is the heap profiler (per-site lifetime statistics).
+	Profiler = prof.Profiler
+	// ReportOptions controls Figure 2-style profile report rendering.
+	ReportOptions = prof.ReportOptions
+	// GCStats is the collector statistics block.
+	GCStats = core.GCStats
+	// Scale scales benchmark workloads relative to the paper's runs.
+	Scale = workload.Scale
+	// FrameInfo is a registered activation-record layout.
+	FrameInfo = rt.FrameInfo
+	// SlotTrace describes a stack slot or register to the collector.
+	SlotTrace = rt.SlotTrace
+)
+
+// Trace constructors, re-exported for building frame layouts.
+var (
+	// NP marks a slot as a non-pointer.
+	NP = rt.NP
+	// PTR marks a slot as a statically-known pointer.
+	PTR = rt.PTR
+	// SAVE marks a slot as the spill of a caller's callee-save register.
+	SAVE = rt.SAVE
+	// COMPSLOT marks a slot whose pointer-ness is computed from a runtime
+	// type in another slot.
+	COMPSLOT = rt.COMPSLOT
+	// COMPREG marks a slot whose pointer-ness is computed from a runtime
+	// type in a register (top frame only).
+	COMPREG = rt.COMPREG
+)
+
+// DefaultReportOptions mirrors the paper's Figure 2 report settings.
+func DefaultReportOptions(title string) ReportOptions {
+	return prof.DefaultReportOptions(title)
+}
+
+// NewPretenurePolicy builds a policy from explicit decisions.
+func NewPretenurePolicy(sites map[SiteID]PretenureDecision) *PretenurePolicy {
+	return core.NewPretenurePolicy(sites)
+}
+
+// Runtime is a simulated runtime plus collector.
+type Runtime struct {
+	cfg      Config
+	meter    *costmodel.Meter
+	table    *rt.TraceTable
+	stack    *rt.Stack
+	col      core.Collector
+	mutator  *workload.Mutator
+	profiler *prof.Profiler
+}
+
+// NewRuntime builds a runtime per cfg.
+func NewRuntime(cfg Config) *Runtime {
+	meter := costmodel.NewMeter()
+	table := rt.NewTraceTable()
+	stack := rt.NewStack(table, meter)
+	var profiler *prof.Profiler
+	var hook core.Profiler
+	if cfg.Profile {
+		profiler = prof.New(cfg.SiteNames)
+		hook = profiler
+	}
+	budget := cfg.BudgetWords
+	if budget == 0 {
+		budget = 512 << 20
+	}
+	var col core.Collector
+	switch cfg.Collector {
+	case Semispace:
+		col = core.NewSemispace(stack, meter, hook, core.SemispaceConfig{
+			BudgetWords: budget,
+			MarkerN:     0,
+		})
+	default:
+		gcfg := core.GenConfig{
+			BudgetWords:  budget,
+			NurseryWords: cfg.NurseryWords,
+			UseCardTable: cfg.CardTable,
+			AgingMinors:  cfg.AgingMinors,
+		}
+		if cfg.Collector >= GenerationalMarkers {
+			gcfg.MarkerN = cfg.MarkerN
+			if gcfg.MarkerN == 0 {
+				gcfg.MarkerN = 25
+			}
+		}
+		if cfg.Collector == GenerationalFull {
+			gcfg.Pretenure = cfg.Pretenure
+			gcfg.ScanElision = cfg.ScanElision
+		}
+		col = core.NewGenerational(stack, meter, hook, gcfg)
+	}
+	r := &Runtime{
+		cfg:      cfg,
+		meter:    meter,
+		table:    table,
+		stack:    stack,
+		col:      col,
+		profiler: profiler,
+	}
+	r.mutator = workload.NewMutator(col, stack, table, meter)
+	return r
+}
+
+// Mutator returns the mutator API for writing programs against this
+// runtime.
+func (r *Runtime) Mutator() *Mutator { return r.mutator }
+
+// Collect forces a collection (major on generational collectors when
+// major is true).
+func (r *Runtime) Collect(major bool) { r.col.Collect(major) }
+
+// Stats returns collector statistics.
+func (r *Runtime) Stats() *GCStats { return r.col.Stats() }
+
+// CollectorName returns the active collector configuration's name.
+func (r *Runtime) CollectorName() string { return r.col.Name() }
+
+// ClientSeconds returns mutator time in simulated seconds.
+func (r *Runtime) ClientSeconds() float64 {
+	return r.meter.Get(costmodel.Client).Seconds()
+}
+
+// GCSeconds returns collector time in simulated seconds.
+func (r *Runtime) GCSeconds() float64 { return r.meter.GC().Seconds() }
+
+// GCStackSeconds returns the stack-root-processing share of GC time.
+func (r *Runtime) GCStackSeconds() float64 {
+	return r.meter.Get(costmodel.GCStack).Seconds()
+}
+
+// GCCopySeconds returns the heap scan/copy share of GC time.
+func (r *Runtime) GCCopySeconds() float64 {
+	return r.meter.Get(costmodel.GCCopy).Seconds()
+}
+
+// Profiler returns the heap profiler, or nil when profiling is off.
+// Call Finalize on it after the program completes.
+func (r *Runtime) Profiler() *Profiler { return r.profiler }
+
+// PolicyFromProfile derives the paper's pretenuring policy from a
+// finalized profile: every site whose old% is at least cutoffPct (the
+// paper uses 80) with at least minObjects allocations is pretenured.
+func PolicyFromProfile(p *Profiler, cutoffPct float64, minObjects uint64) *PretenurePolicy {
+	return p.Policy(cutoffPct, minObjects)
+}
+
+// ---- Benchmarks -------------------------------------------------------------
+
+// Benchmarks returns the names of the paper's benchmark programs in table
+// order.
+func Benchmarks() []string {
+	out := make([]string, len(harness.PaperOrder))
+	copy(out, harness.PaperOrder)
+	return out
+}
+
+// BenchmarkInfo describes a benchmark program.
+type BenchmarkInfo struct {
+	Name        string
+	Description string
+	Sites       map[SiteID]string
+}
+
+// Describe returns a benchmark's metadata.
+func Describe(name string) (BenchmarkInfo, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return BenchmarkInfo{}, err
+	}
+	return BenchmarkInfo{Name: w.Name(), Description: w.Description(), Sites: w.Sites()}, nil
+}
+
+// RunBenchmark executes a named benchmark on r and returns its
+// deterministic self-check value.
+func (r *Runtime) RunBenchmark(name string, scale Scale) (uint64, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	res := w.Run(r.mutator, scale)
+	if r.profiler != nil {
+		// One final collection so objects allocated near the end get a
+		// survival observation before end-of-run accounting.
+		r.col.Collect(false)
+		r.profiler.Finalize()
+	}
+	return res.Check, nil
+}
+
+// ---- Experiments ------------------------------------------------------------
+
+// Experiment regenerates one of the paper's tables or figures, writing
+// the rendered result to w. Valid names: "table1" ... "table7",
+// "figure2", "elide", "barrier", "markersweep".
+func Experiment(w io.Writer, name string, scale Scale) error {
+	switch name {
+	case "table1":
+		return harness.Table1(w)
+	case "table2":
+		return harness.Table2(w, scale)
+	case "table3":
+		return harness.Table3(w, scale)
+	case "table4":
+		return harness.Table4(w, scale)
+	case "table5":
+		return harness.Table5(w, scale)
+	case "table6":
+		return harness.Table6(w, scale)
+	case "table7":
+		return harness.Table7(w, scale)
+	case "figure2":
+		return harness.Figure2(w, scale)
+	case "elide":
+		return harness.ExtensionElide(w, scale)
+	case "barrier":
+		return harness.ExtensionBarrier(w, scale)
+	case "aging":
+		return harness.ExtensionAging(w, scale)
+	case "markersweep":
+		return harness.MarkerSweep(w, scale,
+			[]string{"Knuth-Bendix", "Color"}, []int{5, 10, 25, 50, 100})
+	}
+	return fmt.Errorf("gcsim: unknown experiment %q", name)
+}
+
+// Experiments lists the valid Experiment names.
+func Experiments() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "figure2", "elide", "barrier", "aging", "markersweep",
+	}
+}
+
+// DefaultScale is the scale used by the command-line tools: large enough
+// to reproduce every effect, small enough to run a full table in minutes.
+var DefaultScale = workload.DefaultScale
+
+// WriteProfile runs the named benchmark with profiling and writes its
+// Figure 2-style heap-profile report.
+func WriteProfile(w io.Writer, name string, scale Scale) error {
+	return harness.Profiles(w, scale, []string{name})
+}

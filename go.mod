@@ -1,0 +1,3 @@
+module tilgc
+
+go 1.22

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// evacuator implements Cheney's algorithm over the simulated heap: objects
+// in condemned spaces are copied to the to-space, a forwarding header is
+// installed at the old address, and the to-space is scanned as an implicit
+// breadth-first queue. Large objects (which live in the mark-sweep LOS and
+// are never copied) are marked and queued for field scanning instead.
+type evacuator struct {
+	heap  *mem.Heap
+	meter *costmodel.Meter
+	stats *GCStats
+	prof  Profiler // may be nil
+
+	condemned map[mem.SpaceID]struct{}
+	to        *mem.Space
+	los       *LOS // may be nil
+
+	// route, when set, picks the destination space per object (the aging
+	// collector sends young survivors to the aging space and old enough
+	// ones to the tenured space). nil routes everything to `to`.
+	route func(o obj.Object) *mem.Space
+	// postCopy, when set, runs after each evacuation (e.g. to bump the
+	// copied object's age byte).
+	postCopy func(dst mem.Addr, o obj.Object)
+	// isYoung+sticky, when set, record old-space fields left pointing at
+	// still-young objects: without immediate promotion such fields must
+	// be re-examined at every minor collection until their targets
+	// tenure, so the collector keeps them in a sticky remembered set.
+	isYoung func(mem.SpaceID) bool
+	sticky  *[]mem.Addr
+
+	scans    []spaceScan // Cheney frontiers, one per destination space
+	losQueue []mem.Addr  // marked large objects awaiting field scan
+}
+
+// spaceScan tracks the Cheney scan frontier within one destination space.
+type spaceScan struct {
+	space *mem.Space
+	next  uint64
+}
+
+// newEvacuator prepares an evacuation of the condemned spaces into to.
+// Pre-existing objects in to (allocated before this collection) are not
+// rescanned; scanning starts at the current allocation frontier.
+func newEvacuator(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats, prof Profiler,
+	condemned []mem.SpaceID, to *mem.Space, los *LOS) *evacuator {
+	c := make(map[mem.SpaceID]struct{}, len(condemned))
+	for _, id := range condemned {
+		c[id] = struct{}{}
+	}
+	return &evacuator{
+		heap:      heap,
+		meter:     meter,
+		stats:     stats,
+		prof:      prof,
+		condemned: c,
+		to:        to,
+		los:       los,
+		scans:     []spaceScan{{space: to, next: to.Used() + 1}},
+	}
+}
+
+// addDest registers an additional destination space for routing; objects
+// copied into it are Cheney-scanned like the primary to-space.
+func (e *evacuator) addDest(s *mem.Space) {
+	e.scans = append(e.scans, spaceScan{space: s, next: s.Used() + 1})
+}
+
+// forward treats v as a pointer value and returns its post-collection
+// value: the forwarding address for condemned objects (evacuating on first
+// visit), v itself for nil and for pointers outside the condemned spaces.
+// Pointers into the LOS mark their target live.
+func (e *evacuator) forward(v uint64) uint64 {
+	a := mem.Addr(v)
+	if a.IsNil() {
+		return v
+	}
+	id := a.Space()
+	if _, ok := e.condemned[id]; ok {
+		return uint64(e.evacuate(a))
+	}
+	if e.los != nil && e.los.Contains(id) {
+		if e.los.Mark(a) {
+			e.losQueue = append(e.losQueue, a)
+		}
+	}
+	return v
+}
+
+// evacuate copies the object at a into the to-space (or returns the
+// existing forwarding address).
+func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
+	if obj.IsForwarded(e.heap, a) {
+		return obj.Forwarding(e.heap, a)
+	}
+	o := obj.Decode(e.heap, a)
+	size := o.SizeWords()
+	target := e.to
+	if e.route != nil {
+		target = e.route(o)
+	}
+	dst, ok := target.Alloc(size)
+	if !ok {
+		panic(fmt.Sprintf("core: to-space %d overflow evacuating %d words (used %d / cap %d)",
+			target.ID(), size, target.Used(), target.Capacity()))
+	}
+	e.heap.Copy(dst, a, size)
+	obj.SetForward(e.heap, a, dst)
+	e.meter.Charge(costmodel.GCCopy, costmodel.CopyObject)
+	e.meter.ChargeN(costmodel.GCCopy, costmodel.CopyWord, size)
+	e.stats.BytesCopied += size * mem.WordSize
+	e.stats.ObjectsCopied++
+	if e.postCopy != nil {
+		e.postCopy(dst, o)
+	}
+	if e.prof != nil {
+		e.prof.OnMove(a, dst)
+	}
+	return dst
+}
+
+// drain runs the Cheney scan to a fixpoint: every gray object copied into
+// the to-space since the evacuator was created (and every marked large
+// object) has its pointer fields forwarded, possibly evacuating more
+// objects.
+func (e *evacuator) drain() {
+	for {
+		progressed := false
+		for i := range e.scans {
+			s := &e.scans[i]
+			for s.next <= s.space.Used() {
+				a := mem.MakeAddr(s.space.ID(), s.next)
+				e.scanObject(a)
+				s.next += obj.Decode(e.heap, a).SizeWords()
+				progressed = true
+			}
+		}
+		for len(e.losQueue) > 0 {
+			a := e.losQueue[len(e.losQueue)-1]
+			e.losQueue = e.losQueue[:len(e.losQueue)-1]
+			e.scanObject(a)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// scanObject forwards every pointer field of the live object at a.
+func (e *evacuator) scanObject(a mem.Addr) {
+	o := obj.Decode(e.heap, a)
+	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
+	switch o.Kind {
+	case obj.RawArray:
+		return
+	case obj.PtrArray:
+		for i := uint64(0); i < o.Len; i++ {
+			e.forwardField(o.PayloadAddr(i))
+		}
+	case obj.Record:
+		mask := o.Mask
+		for i := uint64(0); mask != 0; i++ {
+			if mask&1 == 1 {
+				e.forwardField(o.PayloadAddr(i))
+			}
+			mask >>= 1
+		}
+	default:
+		panic(fmt.Sprintf("core: scanning %v object at %v", o.Kind, a))
+	}
+}
+
+// forwardField rewrites the pointer stored at field address fa.
+func (e *evacuator) forwardField(fa mem.Addr) {
+	v := e.heap.Load(fa)
+	nv := e.forward(v)
+	if nv != v {
+		e.heap.Store(fa, nv)
+	}
+	if e.isYoung != nil && nv != 0 &&
+		!e.isYoung(fa.Space()) && e.isYoung(mem.Addr(nv).Space()) {
+		*e.sticky = append(*e.sticky, fa)
+	}
+}

@@ -1,0 +1,662 @@
+package core
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// GenConfig parameterizes the two-generation collector of §2.1 and its
+// optional extensions: generational stack collection (MarkerN) and
+// profile-driven pretenuring (Pretenure, ScanElision).
+type GenConfig struct {
+	// BudgetWords is the total memory allowance (k·Min).
+	BudgetWords uint64
+	// NurseryWords sizes the first generation. Following Tarditi-Diwan,
+	// the nursery is never larger than the secondary cache: 512KB =
+	// 65536 words. Benchmarks sometimes use a smaller nursery.
+	NurseryWords uint64
+	// TargetTenuredLiveness drives tenured-generation resizing after a
+	// major collection; the paper uses 0.3.
+	TargetTenuredLiveness float64
+	// LargeObjectWords is the LOS threshold for array allocations.
+	LargeObjectWords uint64
+	// MarkerN enables generational stack collection with a marker every
+	// n frames. Zero disables it. The paper uses n = 25.
+	MarkerN int
+	// MarkerPolicy selects fixed-interval (the paper's) or exponential
+	// marker placement (§7.1's "more dynamic policy").
+	MarkerPolicy MarkerPolicy
+	// AgingMinors switches off the paper's immediate-promotion policy:
+	// nursery survivors are copied to an aging space and promoted to the
+	// tenured generation only after surviving this many further minor
+	// collections. §7.2 predicts pretenuring pays off even more under
+	// such schemes because tenured-bound objects are copied several times
+	// before promotion. Zero (default) is the paper's configuration.
+	AgingMinors int
+	// Pretenure, when non-nil, allocates the selected sites directly
+	// into the tenured generation (§6).
+	Pretenure *PretenurePolicy
+	// ScanElision enables the §7.2 extension: pretenured objects whose
+	// site is flagged OnlyOldRefs are exempted from the region scan.
+	ScanElision bool
+	// UseCardTable replaces the sequential store buffer with card
+	// marking (the §4 remedy for Peg's mutation-heavy behaviour).
+	UseCardTable bool
+	// CardShift is log2 words per card when UseCardTable is set.
+	CardShift uint
+}
+
+func (c *GenConfig) setDefaults() {
+	if c.NurseryWords == 0 {
+		c.NurseryWords = 64 * 1024 // 512KB
+	}
+	if c.TargetTenuredLiveness == 0 {
+		c.TargetTenuredLiveness = 0.3
+	}
+	if c.LargeObjectWords == 0 {
+		c.LargeObjectWords = 1024
+	}
+	if c.BudgetWords == 0 {
+		c.BudgetWords = 64 << 20
+	}
+	if c.CardShift == 0 {
+		c.CardShift = 7 // 128-word (1KB) cards
+	}
+}
+
+// Generational is the two-generation copying collector: new objects are
+// bump-allocated in the nursery; every minor collection promotes all
+// survivors to the tenured generation immediately; the tenured generation
+// is itself collected by copying between two spaces when it exceeds its
+// budget-derived threshold. Old-to-young pointers created by mutation are
+// tracked by a sequential store buffer (or optionally a card table).
+type Generational struct {
+	cfg   GenConfig
+	heap  *mem.Heap
+	stack *rt.Stack
+	meter *costmodel.Meter
+	prof  Profiler
+
+	scanner *StackScanner
+	los     *LOS
+	ssb     *rt.SSB
+	cards   *rt.CardTable
+
+	nursery *mem.Space
+	idA     mem.SpaceID
+	idB     mem.SpaceID
+	ten     *mem.Space // current tenured allocation space
+	tenCap  uint64     // logical tenured threshold T (triggers major GC)
+
+	// Aging spaces (only when cfg.AgingMinors > 0): survivors shuttle
+	// between the pair until old enough to tenure.
+	agA, agB mem.SpaceID
+	aging    *mem.Space // current aging from-space (nil when disabled)
+
+	pretenured regionSet
+	// sticky remembers old-space field addresses still pointing into the
+	// aging space; re-examined at every minor until the targets tenure.
+	// Empty when AgingMinors == 0 (immediate promotion needs none).
+	sticky []mem.Addr
+	inGC   bool
+
+	stats GCStats
+}
+
+// NewGenerational creates a generational collector over its own heap.
+func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg GenConfig) *Generational {
+	cfg.setDefaults()
+	heap := mem.NewHeap()
+	c := &Generational{cfg: cfg, heap: heap, stack: stack, meter: meter, prof: prof}
+	c.scanner = NewStackScanner(stack, meter, &c.stats, cfg.MarkerN)
+	c.scanner.SetMarkerPolicy(cfg.MarkerPolicy)
+	c.los = NewLOS(heap, meter, &c.stats)
+	if cfg.UseCardTable {
+		c.cards = rt.NewCardTable(meter, cfg.CardShift)
+	} else {
+		c.ssb = rt.NewSSB(meter)
+	}
+	c.nursery = heap.AddSpace(cfg.NurseryWords)
+	c.tenCap = c.initialTenCap()
+	// The tenured arena starts small and grows on demand (GrowSpace
+	// preserves offsets, so addresses stay valid); the logical threshold
+	// tenCap is what triggers major collections.
+	initial := 4*cfg.NurseryWords + 1024
+	if initial > c.tenCap+cfg.NurseryWords+1024 {
+		initial = c.tenCap + cfg.NurseryWords + 1024
+	}
+	a := heap.AddSpace(initial)
+	b := heap.AddSpace(0)
+	c.idA, c.idB = a.ID(), b.ID()
+	c.ten = a
+	if cfg.AgingMinors > 0 {
+		ag := heap.AddSpace(cfg.NurseryWords + 64)
+		agb := heap.AddSpace(0)
+		c.agA, c.agB = ag.ID(), agb.ID()
+		c.aging = ag
+		// Without immediate promotion, frames cached by the stack
+		// scanner can hold aging-space pointers, so minor scans must
+		// revisit cached roots rather than skip frames.
+		c.scanner.SetRevisitOnMinor(true)
+	}
+	return c
+}
+
+// isYoung reports whether space id is collected at every minor GC (the
+// nursery and, when aging is enabled, both aging semispaces — their ids
+// are stable across cycles).
+func (c *Generational) isYoung(id mem.SpaceID) bool {
+	if id == c.nursery.ID() {
+		return true
+	}
+	return c.aging != nil && (id == c.agA || id == c.agB)
+}
+
+// initialTenCap derives the tenured threshold from the budget: nursery +
+// two tenured spaces must fit (the to-space is materialized only during a
+// major collection, but the paper's accounting reserves it).
+func (c *Generational) initialTenCap() uint64 {
+	if c.cfg.BudgetWords <= c.cfg.NurseryWords+1024 {
+		return 1024
+	}
+	return (c.cfg.BudgetWords - c.cfg.NurseryWords) / 2
+}
+
+// Name implements Collector.
+func (c *Generational) Name() string {
+	n := "generational"
+	if c.cfg.MarkerN > 0 {
+		n += "+markers"
+	}
+	if c.cfg.Pretenure.Len() > 0 {
+		n += "+pretenure"
+		if c.cfg.ScanElision {
+			n += "+elide"
+		}
+	}
+	if c.cfg.UseCardTable {
+		n += "+cards"
+	}
+	if c.cfg.AgingMinors > 0 {
+		n += fmt.Sprintf("+aging%d", c.cfg.AgingMinors)
+	}
+	return n
+}
+
+// Heap implements Collector.
+func (c *Generational) Heap() *mem.Heap { return c.heap }
+
+// Stats implements Collector.
+func (c *Generational) Stats() *GCStats { return &c.stats }
+
+// PointerUpdates returns the lifetime count of barriered pointer stores.
+func (c *Generational) PointerUpdates() uint64 {
+	if c.cards != nil {
+		return c.cards.TotalRecorded()
+	}
+	return c.ssb.TotalRecorded()
+}
+
+// Alloc implements Collector.
+func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
+	size := obj.SizeWords(k, length)
+	c.chargeAlloc(k, size)
+
+	// Large arrays bypass the nursery into the mark-sweep space (§2.1).
+	if k != obj.Record && length >= c.cfg.LargeObjectWords {
+		if c.los.UsedWords()+size > c.losLimit() {
+			c.Collect(true)
+		}
+		a := c.los.Alloc(k, length, site, mask)
+		if c.prof != nil {
+			c.prof.OnAlloc(a, site, k, size)
+		}
+		return a
+	}
+
+	// Profile-selected sites allocate directly into the old generation.
+	if _, ok := c.cfg.Pretenure.Lookup(site); ok {
+		return c.allocPretenured(k, length, site, mask, size)
+	}
+
+	a, ok := obj.Alloc(c.heap, c.nursery, k, length, site, mask)
+	if !ok {
+		c.Collect(false)
+		a, ok = obj.Alloc(c.heap, c.nursery, k, length, site, mask)
+		if !ok {
+			panic(fmt.Sprintf("core: object of %d words exceeds nursery (%d words)",
+				size, c.cfg.NurseryWords))
+		}
+	}
+	if c.prof != nil {
+		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+// ensureTenured grows the tenured arena's physical capacity so at least
+// extra more words fit, bounded by the logical threshold plus promotion
+// slack. Growth preserves offsets; no object moves.
+func (c *Generational) ensureTenured(extra uint64) {
+	if c.ten.Free() >= extra {
+		return
+	}
+	newCap := c.ten.Capacity() * 2
+	if newCap < c.ten.Used()+extra {
+		newCap = c.ten.Used() + extra
+	}
+	limit := c.tenCap + c.cfg.NurseryWords + 1024
+	if newCap > limit {
+		newCap = limit
+	}
+	if newCap < c.ten.Used()+extra {
+		newCap = c.ten.Used() + extra // emergency: logical cap exceeded
+	}
+	c.ten = c.heap.GrowSpace(c.ten.ID(), newCap)
+}
+
+// allocPretenured performs the longer allocation sequence into the
+// tenured generation and remembers the region for the next minor scan.
+func (c *Generational) allocPretenured(k obj.Kind, length uint64, site obj.SiteID, mask uint64, size uint64) mem.Addr {
+	c.meter.Charge(costmodel.Client, costmodel.AllocPretenure)
+	if c.ten.Used()+size > c.tenCap {
+		c.Collect(true)
+	}
+	c.ensureTenured(size)
+	a, ok := obj.Alloc(c.heap, c.ten, k, length, site, mask)
+	if !ok {
+		panic("core: tenured space physical overflow on pretenured allocation")
+	}
+	c.pretenured.add(a.Space(), a.Offset(), size)
+	c.stats.Pretenured++
+	if c.prof != nil {
+		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+func (c *Generational) chargeAlloc(k obj.Kind, size uint64) {
+	c.meter.Charge(costmodel.Client, costmodel.AllocObject)
+	c.meter.ChargeN(costmodel.Client, costmodel.AllocWord, size)
+	c.stats.BytesAllocated += size * mem.WordSize
+	c.stats.ObjectsAllocated++
+	if k == obj.Record {
+		c.stats.RecordBytes += size * mem.WordSize
+	} else {
+		c.stats.ArrayBytes += size * mem.WordSize
+	}
+}
+
+// losLimit is the large-object share of the budget: up to half the total
+// (tenured sizing adapts to the live LOS share after each major).
+func (c *Generational) losLimit() uint64 {
+	return c.cfg.BudgetWords / 2
+}
+
+// LoadField implements Collector.
+func (c *Generational) LoadField(a mem.Addr, i uint64) uint64 {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorLoad)
+	return obj.Field(c.heap, a, i)
+}
+
+// StoreField implements Collector: pointer stores pass through the write
+// barrier, which records the mutated field's address.
+func (c *Generational) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorStore)
+	fa := obj.FieldAddr(c.heap, a, i)
+	c.heap.Store(fa, v)
+	if isPtr {
+		if c.cards != nil {
+			c.cards.Record(fa)
+		} else {
+			c.ssb.Record(fa)
+		}
+	}
+}
+
+// InitField implements Collector: initializing stores are not pointer
+// updates and skip the barrier.
+func (c *Generational) InitField(a mem.Addr, i uint64, v uint64) {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorStore)
+	obj.SetField(c.heap, a, i, v)
+}
+
+// Collect implements Collector.
+func (c *Generational) Collect(major bool) {
+	if c.inGC {
+		panic("core: reentrant collection")
+	}
+	if major {
+		c.majorGC()
+	} else {
+		c.minorGC()
+	}
+}
+
+// minorGC promotes every live nursery object into the tenured generation.
+func (c *Generational) minorGC() {
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	pauseStart := c.meter.GC()
+	defer func() { c.recordPause(pauseStart) }()
+	c.stats.NumGC++
+	c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
+	c.scanner.NoteCollection()
+	c.ensureTenured(c.nursery.Used() + c.agingUsed() + 64)
+
+	condemned := []mem.SpaceID{c.nursery.ID()}
+	var agingTo *mem.Space
+	if c.aging != nil {
+		condemned = append(condemned, c.aging.ID())
+		toID := c.agA
+		if c.aging.ID() == toID {
+			toID = c.agB
+		}
+		agingTo = c.heap.ReplaceSpace(toID, c.nursery.Used()+c.aging.Used()+64)
+	}
+	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof,
+		condemned, c.ten, c.los)
+	var oldSticky []mem.Addr
+	if agingTo != nil {
+		ev.addDest(agingTo)
+		oldSticky = c.sticky
+		c.sticky = nil
+		ev.isYoung = c.isYoung
+		ev.sticky = &c.sticky
+		threshold := uint8(min(c.cfg.AgingMinors, 250))
+		ev.route = func(o obj.Object) *mem.Space {
+			if obj.Age(c.heap, o.Addr) >= threshold {
+				return c.ten
+			}
+			return agingTo
+		}
+		ev.postCopy = func(dst mem.Addr, o obj.Object) {
+			if dst.Space() == agingTo.ID() {
+				obj.SetAge(c.heap, dst, obj.Age(c.heap, dst)+1)
+			}
+		}
+	}
+
+	// Roots: the (possibly cached) stack scan, the remembered set from
+	// the write barrier, the sticky old-to-aging set, the pretenured
+	// regions, and fresh large objects.
+	c.scanner.Scan(true, func(loc RootLoc) { c.forwardRoot(ev, loc) })
+	for _, fa := range oldSticky {
+		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
+		c.forwardIfYoung(ev, fa, c.nursery.ID())
+	}
+	c.processBarrier(ev)
+	c.scanPretenuredRegions(ev)
+	for _, a := range c.los.Fresh() {
+		c.scanForYoung(ev, a)
+	}
+	c.los.TakeFresh()
+
+	ev.drain()
+	if c.prof != nil {
+		c.prof.OnSpaceCondemned(c.nursery.ID())
+		c.prof.OnGCEnd()
+	}
+	c.nursery.Reset()
+	if agingTo != nil {
+		c.heap.ReplaceSpace(c.aging.ID(), 0)
+		c.aging = agingTo
+	}
+
+	if c.ten.Used() > c.tenCap {
+		c.majorGC()
+	}
+}
+
+// agingUsed returns the words held by the aging space (0 when disabled).
+func (c *Generational) agingUsed() uint64 {
+	if c.aging == nil {
+		return 0
+	}
+	return c.aging.Used()
+}
+
+// processBarrier drains the write barrier, forwarding any nursery pointer
+// stored into an older object. Every entry is examined (the SSB records
+// duplicates — the Peg overhead); the card table examines dirty cards'
+// words instead.
+func (c *Generational) processBarrier(ev *evacuator) {
+	nid := c.nursery.ID()
+	if c.cards != nil {
+		for _, fa := range c.cardFieldAddrs() {
+			c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
+			c.forwardIfYoung(ev, fa, nid)
+		}
+		c.cards.Drain()
+		return
+	}
+	for _, fa := range c.ssb.Entries() {
+		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
+		c.stats.SSBProcessed++
+		if c.isYoung(fa.Space()) {
+			// Update within a collected space: the object's copy (if
+			// live) is fully scanned during evacuation anyway.
+			continue
+		}
+		c.forwardIfYoung(ev, fa, nid)
+	}
+	c.ssb.Drain()
+}
+
+// cardFieldAddrs expands dirty cards to the field addresses they cover
+// that lie within allocated, non-nursery space.
+func (c *Generational) cardFieldAddrs() []mem.Addr {
+	var out []mem.Addr
+	for _, id := range c.cards.Cards() {
+		start, n := c.cards.CardBounds(id)
+		if c.isYoung(start.Space()) {
+			continue
+		}
+		sp := c.heap.Space(start.Space())
+		if sp == nil {
+			continue // card in a freed large-object space
+		}
+		for i := uint64(0); i < n; i++ {
+			fa := start.Add(i)
+			if sp.Contains(fa) {
+				out = append(out, fa)
+			}
+		}
+	}
+	return out
+}
+
+// forwardIfYoung forwards the value at field address fa when it points
+// into the nursery.
+func (c *Generational) forwardIfYoung(ev *evacuator, fa mem.Addr, nursery mem.SpaceID) {
+	sp := c.heap.Space(fa.Space())
+	if sp == nil || !sp.Contains(fa) {
+		return // stale entry into space that has since been freed/reset
+	}
+	v := c.heap.Load(fa)
+	if !c.isYoung(mem.Addr(v).Space()) {
+		return
+	}
+	nv := ev.forward(v)
+	if nv != v {
+		c.heap.Store(fa, nv)
+	}
+	// Without immediate promotion the target may still be young after
+	// evacuation; keep the field in the sticky set.
+	if c.aging != nil && nv != 0 && c.isYoung(mem.Addr(nv).Space()) {
+		c.sticky = append(c.sticky, fa)
+	}
+}
+
+// scanPretenuredRegions scans the tenured regions allocated into directly
+// since the last collection, forwarding nursery references out of them.
+// This is a scan, not a copy — the reason pretenuring's GC-time win is
+// smaller than its copy reduction (§6). With ScanElision, objects whose
+// site is flagged OnlyOldRefs are skipped (§7.2).
+func (c *Generational) scanPretenuredRegions(ev *evacuator) {
+	for _, r := range c.pretenured.regions {
+		off := r.start
+		for off < r.end {
+			a := mem.MakeAddr(r.space, off)
+			o := obj.Decode(c.heap, a)
+			if d, ok := c.cfg.Pretenure.Lookup(o.Site); ok && d.OnlyOldRefs && c.cfg.ScanElision {
+				c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
+			} else {
+				c.scanForYoungObject(ev, o)
+			}
+			off += o.SizeWords()
+		}
+	}
+	c.pretenured.clear()
+}
+
+// scanForYoung scans the object at a for nursery references.
+func (c *Generational) scanForYoung(ev *evacuator, a mem.Addr) {
+	c.scanForYoungObject(ev, obj.Decode(c.heap, a))
+}
+
+func (c *Generational) scanForYoungObject(ev *evacuator, o obj.Object) {
+	c.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
+	c.stats.BytesScanned += o.SizeWords() * mem.WordSize
+	if o.Kind == obj.RawArray {
+		return
+	}
+	for i := uint64(0); i < o.Len; i++ {
+		if !o.IsPtrField(i) {
+			continue
+		}
+		fa := o.PayloadAddr(i)
+		v := c.heap.Load(fa)
+		nv := ev.forward(v)
+		if nv != v {
+			c.heap.Store(fa, nv)
+		}
+		if c.aging != nil && nv != 0 && c.isYoung(mem.Addr(nv).Space()) {
+			c.sticky = append(c.sticky, fa)
+		}
+	}
+}
+
+// majorGC collects both generations: nursery and tenured survivors are
+// evacuated into a fresh tenured space, the large-object space is swept,
+// and the tenured threshold is re-derived from the observed liveness.
+func (c *Generational) majorGC() {
+	wasInGC := c.inGC
+	c.inGC = true
+	defer func() { c.inGC = wasInGC }()
+	if !wasInGC {
+		pauseStart := c.meter.GC()
+		defer func() { c.recordPause(pauseStart) }()
+		c.stats.NumGC++
+		c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
+		c.scanner.NoteCollection()
+	}
+	c.stats.NumMajor++
+
+	fromID, toID := c.idA, c.idB
+	if c.ten.ID() != fromID {
+		fromID, toID = toID, fromID
+	}
+	c.los.ClearMarks()
+	to := c.heap.ReplaceSpace(toID, c.ten.Used()+c.nursery.Used()+c.agingUsed())
+	condemned := []mem.SpaceID{c.nursery.ID(), fromID}
+	if c.aging != nil {
+		condemned = append(condemned, c.aging.ID())
+	}
+	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof,
+		condemned, to, c.los)
+
+	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
+	ev.drain()
+	c.los.Sweep(c.prof)
+	c.los.TakeFresh()
+	if c.prof != nil {
+		c.prof.OnSpaceCondemned(c.nursery.ID())
+		c.prof.OnSpaceCondemned(fromID)
+		if c.aging != nil {
+			c.prof.OnSpaceCondemned(c.aging.ID())
+		}
+		c.prof.OnGCEnd()
+	}
+	c.nursery.Reset()
+	if c.aging != nil {
+		c.aging = c.heap.ReplaceSpace(c.aging.ID(), c.cfg.NurseryWords+64)
+	}
+	c.sticky = nil // no old-to-young refs survive a full collection
+	// The barrier's remembered set and the pretenured regions are stale
+	// and unnecessary: there are no old-to-young pointers after a full
+	// collection.
+	if c.cards != nil {
+		c.cards.Drain()
+	} else {
+		c.ssb.Drain()
+	}
+	c.pretenured.clear()
+
+	live := to.Used()
+	// Tenured resize: target liveness 0.3 within the budget share.
+	newCap := uint64(float64(live) / c.cfg.TargetTenuredLiveness)
+	maxCap := c.initialTenCap()
+	if losWords := c.los.UsedWords(); 2*losWords < c.cfg.BudgetWords-c.cfg.NurseryWords {
+		maxCap = (c.cfg.BudgetWords - c.cfg.NurseryWords - losWords) / 2
+	}
+	if newCap > maxCap {
+		newCap = maxCap
+	}
+	minCap := live + c.cfg.NurseryWords/4 + 256
+	if newCap < minCap {
+		newCap = minCap // budget-starved: keep limping with minimum headroom
+	}
+	c.tenCap = newCap
+	// Physical capacity grows lazily toward the logical threshold; just
+	// leave room for the next nursery promotion.
+	need := live + c.cfg.NurseryWords + 1024
+	if c.heap.Space(toID).Capacity() < need {
+		c.ten = c.heap.GrowSpace(toID, need)
+	} else {
+		c.ten = c.heap.Space(toID)
+	}
+	c.heap.ReplaceSpace(fromID, 0)
+	c.updateMaxLive()
+}
+
+// updateMaxLive records the live-set high-water mark. It is only called
+// after a major collection, when the tenured space holds exactly the live
+// data; between majors ten.Used() also counts promoted-but-dead objects
+// and would wildly overestimate (the calibration pass forces frequent
+// majors to sample tightly).
+func (c *Generational) updateMaxLive() {
+	liveBytes := (c.ten.Used() + c.los.UsedWords()) * mem.WordSize
+	if liveBytes > c.stats.MaxLiveBytes {
+		c.stats.MaxLiveBytes = liveBytes
+	}
+}
+
+// recordPause accumulates pause statistics for one collection event.
+func (c *Generational) recordPause(start costmodel.Cycles) {
+	pause := uint64(c.meter.GC() - start)
+	c.stats.SumPauseCycles += pause
+	if pause > c.stats.MaxPauseCycles {
+		c.stats.MaxPauseCycles = pause
+	}
+}
+
+// forwardRoot forwards the pointer at a root location.
+func (c *Generational) forwardRoot(ev *evacuator, loc RootLoc) {
+	c.stats.RootsFound++
+	if loc.IsReg {
+		v := c.stack.Reg(loc.Index)
+		if nv := ev.forward(v); nv != v {
+			c.stack.SetReg(loc.Index, nv)
+		}
+		return
+	}
+	v := c.stack.RawSlot(loc.Index)
+	if nv := ev.forward(v); nv != v {
+		c.stack.SetRawSlot(loc.Index, nv)
+	}
+}

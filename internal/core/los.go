@@ -1,0 +1,117 @@
+package core
+
+import (
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// LOS is the large-object space: big arrays are not allocated in the
+// nursery and promoted, but "reside in a region managed by a mark-sweep
+// algorithm" (§2.1). Each large object occupies its own arena space, so
+// objects are never moved and freeing returns the arena wholesale; marks
+// are kept in a side set and cleared at each sweep.
+type LOS struct {
+	heap  *mem.Heap
+	meter *costmodel.Meter
+	stats *GCStats
+
+	spaces map[mem.SpaceID]mem.Addr // large-object space id → object address
+	marked map[mem.Addr]struct{}
+	used   uint64 // total live words
+	fresh  []mem.Addr
+}
+
+// NewLOS creates an empty large-object space.
+func NewLOS(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats) *LOS {
+	return &LOS{
+		heap:   heap,
+		meter:  meter,
+		stats:  stats,
+		spaces: make(map[mem.SpaceID]mem.Addr),
+		marked: make(map[mem.Addr]struct{}),
+	}
+}
+
+// Alloc allocates a large object in its own arena.
+func (l *LOS) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
+	size := obj.SizeWords(k, length)
+	s := l.heap.AddSpace(size)
+	a, ok := obj.Alloc(l.heap, s, k, length, site, mask)
+	if !ok {
+		panic("core: LOS arena sizing bug")
+	}
+	l.spaces[s.ID()] = a
+	l.used += size
+	l.fresh = append(l.fresh, a)
+	return a
+}
+
+// Contains reports whether space id holds a large object.
+func (l *LOS) Contains(id mem.SpaceID) bool {
+	_, ok := l.spaces[id]
+	return ok
+}
+
+// Mark marks the large object at a live, reporting whether this is the
+// first mark this cycle (the caller then queues the object for scanning).
+func (l *LOS) Mark(a mem.Addr) bool {
+	if _, ok := l.marked[a]; ok {
+		return false
+	}
+	l.marked[a] = struct{}{}
+	return true
+}
+
+// UsedWords returns the total words held by live large objects.
+func (l *LOS) UsedWords() uint64 { return l.used }
+
+// Count returns the number of live large objects.
+func (l *LOS) Count() int { return len(l.spaces) }
+
+// Fresh returns the large objects allocated since the last TakeFresh call.
+// A minor collection scans them for nursery references (their initializing
+// stores are not write-barriered).
+func (l *LOS) Fresh() []mem.Addr { return l.fresh }
+
+// TakeFresh clears the fresh list (after the minor collection scanned it).
+func (l *LOS) TakeFresh() {
+	l.fresh = l.fresh[:0]
+}
+
+// ClearMarks resets all mark bits. A major collection clears marks before
+// tracing so that marks set by intervening minor collections (which mark
+// for scan-deduplication, not for liveness) cannot keep dead objects
+// alive through the sweep.
+func (l *LOS) ClearMarks() {
+	clear(l.marked)
+}
+
+// Sweep frees every unmarked large object and clears all marks. Called at
+// the end of a major collection, after the trace has marked the live set.
+func (l *LOS) Sweep(prof Profiler) {
+	for id, a := range l.spaces {
+		l.meter.Charge(costmodel.GCCopy, costmodel.SweepObject)
+		if _, ok := l.marked[a]; ok {
+			continue
+		}
+		size := obj.Decode(l.heap, a).SizeWords()
+		l.used -= size
+		if prof != nil {
+			prof.OnLOSDead(a)
+		}
+		l.heap.FreeSpace(id)
+		delete(l.spaces, id)
+		l.stats.LOSSwept++
+	}
+	clear(l.marked)
+	// Objects allocated this cycle that were swept are gone; drop any
+	// stale fresh entries.
+	kept := l.fresh[:0]
+	for _, a := range l.fresh {
+		if _, ok := l.spaces[a.Space()]; ok {
+			kept = append(kept, a)
+		}
+	}
+	l.fresh = kept
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// SemispaceConfig parameterizes the baseline semispace collector.
+type SemispaceConfig struct {
+	// BudgetWords is the total memory the collector may use (the paper's
+	// k·Min, with Min = twice the maximum live data). Both semispaces
+	// plus the large-object space must fit within it.
+	BudgetWords uint64
+	// TargetLiveness is the resize target r; after a collection with
+	// observed liveness r' the semispace is resized by r'/r, clamped to
+	// the budget. The paper uses r = 0.10.
+	TargetLiveness float64
+	// LargeObjectWords is the LOS threshold: array allocations of at
+	// least this many payload words go to the mark-sweep space.
+	LargeObjectWords uint64
+	// MarkerN enables generational stack collection with a marker every
+	// n frames (§7.1 notes the technique applies to non-generational
+	// collectors too). Zero disables it — the paper's baseline.
+	MarkerN int
+	// InitialWords sizes the first semispace; zero picks a small default.
+	InitialWords uint64
+}
+
+func (c *SemispaceConfig) setDefaults() {
+	if c.TargetLiveness == 0 {
+		c.TargetLiveness = 0.10
+	}
+	if c.LargeObjectWords == 0 {
+		c.LargeObjectWords = 1024 // 8KB
+	}
+	if c.InitialWords == 0 {
+		c.InitialWords = 16 * 1024
+	}
+	if c.BudgetWords == 0 {
+		c.BudgetWords = 64 << 20 // effectively unconstrained
+	}
+}
+
+// Semispace is the Fenichel-Yochelson two-space copying collector using
+// Cheney's scan, with the paper's liveness-ratio resize policy (§2.1).
+type Semispace struct {
+	cfg   SemispaceConfig
+	heap  *mem.Heap
+	stack *rt.Stack
+	meter *costmodel.Meter
+	prof  Profiler
+
+	scanner *StackScanner
+	los     *LOS
+	idA     mem.SpaceID
+	idB     mem.SpaceID
+	cur     *mem.Space // allocation space
+	stats   GCStats
+}
+
+// NewSemispace creates a semispace collector over its own fresh heap.
+func NewSemispace(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg SemispaceConfig) *Semispace {
+	cfg.setDefaults()
+	heap := mem.NewHeap()
+	c := &Semispace{cfg: cfg, heap: heap, stack: stack, meter: meter, prof: prof}
+	c.scanner = NewStackScanner(stack, meter, &c.stats, cfg.MarkerN)
+	c.los = NewLOS(heap, meter, &c.stats)
+	if cfg.InitialWords > cfg.BudgetWords/2 {
+		cfg.InitialWords = max(cfg.BudgetWords/2, 512)
+		c.cfg = cfg
+	}
+	a := heap.AddSpace(cfg.InitialWords)
+	b := heap.AddSpace(0)
+	c.idA, c.idB = a.ID(), b.ID()
+	c.cur = a
+	return c
+}
+
+// Name implements Collector.
+func (c *Semispace) Name() string {
+	if c.cfg.MarkerN > 0 {
+		return "semispace+markers"
+	}
+	return "semispace"
+}
+
+// Heap implements Collector.
+func (c *Semispace) Heap() *mem.Heap { return c.heap }
+
+// Stats implements Collector.
+func (c *Semispace) Stats() *GCStats { return &c.stats }
+
+// Alloc implements Collector.
+func (c *Semispace) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
+	size := obj.SizeWords(k, length)
+	c.chargeAlloc(k, size)
+	if k != obj.Record && length >= c.cfg.LargeObjectWords {
+		if c.los.UsedWords()+size > c.losLimit() {
+			c.Collect(true)
+		}
+		a := c.los.Alloc(k, length, site, mask)
+		if c.prof != nil {
+			c.prof.OnAlloc(a, site, k, size)
+		}
+		return a
+	}
+	a, ok := obj.Alloc(c.heap, c.cur, k, length, site, mask)
+	if !ok {
+		c.Collect(true)
+		a, ok = obj.Alloc(c.heap, c.cur, k, length, site, mask)
+		if !ok {
+			// The live set genuinely exceeds the budget share (Min is
+			// measured by calibration and can be slightly low). Grow past
+			// the budget rather than dying; the overflow is recorded.
+			c.stats.EmergencyGrows++
+			c.cur = c.heap.GrowSpace(c.cur.ID(), c.cur.Capacity()+size+1024)
+			a, ok = obj.Alloc(c.heap, c.cur, k, length, site, mask)
+			if !ok {
+				panic(fmt.Sprintf("core: semispace emergency growth failed: need %d words", size))
+			}
+		}
+	}
+	if c.prof != nil {
+		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+func (c *Semispace) chargeAlloc(k obj.Kind, size uint64) {
+	c.meter.Charge(costmodel.Client, costmodel.AllocObject)
+	c.meter.ChargeN(costmodel.Client, costmodel.AllocWord, size)
+	c.stats.BytesAllocated += size * mem.WordSize
+	c.stats.ObjectsAllocated++
+	if k == obj.Record {
+		c.stats.RecordBytes += size * mem.WordSize
+	} else {
+		c.stats.ArrayBytes += size * mem.WordSize
+	}
+}
+
+// losLimit is the large-object share of the budget: up to half the total
+// (the semispace sizing adapts to the live LOS share after each sweep).
+func (c *Semispace) losLimit() uint64 {
+	return c.cfg.BudgetWords / 2
+}
+
+// LoadField implements Collector.
+func (c *Semispace) LoadField(a mem.Addr, i uint64) uint64 {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorLoad)
+	return obj.Field(c.heap, a, i)
+}
+
+// StoreField implements Collector. The semispace collector has no write
+// barrier; isPtr is accepted for interface compatibility.
+func (c *Semispace) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorStore)
+	obj.SetField(c.heap, a, i, v)
+}
+
+// InitField implements Collector.
+func (c *Semispace) InitField(a mem.Addr, i uint64, v uint64) {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorStore)
+	obj.SetField(c.heap, a, i, v)
+}
+
+// Collect implements Collector: a full copying collection with Cheney's
+// algorithm, followed by the r'/r resize.
+func (c *Semispace) Collect(bool) {
+	pauseStart := c.meter.GC()
+	defer func() {
+		pause := uint64(c.meter.GC() - pauseStart)
+		c.stats.SumPauseCycles += pause
+		if pause > c.stats.MaxPauseCycles {
+			c.stats.MaxPauseCycles = pause
+		}
+	}()
+	c.stats.NumGC++
+	c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
+	c.scanner.NoteCollection()
+	c.los.ClearMarks()
+
+	fromID, toID := c.idA, c.idB
+	if c.cur.ID() != fromID {
+		fromID, toID = toID, fromID
+	}
+	// The survivors cannot exceed what was allocated in from-space.
+	to := c.heap.ReplaceSpace(toID, c.cur.Used())
+	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof, []mem.SpaceID{fromID}, to, c.los)
+
+	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
+	ev.drain()
+	c.los.Sweep(c.prof)
+	c.los.TakeFresh()
+	if c.prof != nil {
+		c.prof.OnSpaceCondemned(fromID)
+		c.prof.OnGCEnd()
+	}
+
+	live := to.Used()
+	liveBytes := (live + c.los.UsedWords()) * mem.WordSize
+	if liveBytes > c.stats.MaxLiveBytes {
+		c.stats.MaxLiveBytes = liveBytes
+	}
+
+	// Resize: newSize = oldSize · r'/r = live/r, clamped to [live·1.25,
+	// budget share]. Live data in the mark-sweep large-object space counts
+	// toward the liveness ratio — the space budget is shared.
+	oldCap := c.heap.Space(fromID).Capacity()
+	rPrime := float64(live+c.los.UsedWords()) / float64(max(oldCap, 1))
+	newSize := uint64(float64(oldCap) * rPrime / c.cfg.TargetLiveness)
+	minSize := live + live/4 + 256
+	maxSize := c.semispaceShare()
+	if newSize < minSize {
+		newSize = minSize
+	}
+	if newSize > maxSize {
+		newSize = maxSize
+	}
+	if newSize < live+64 {
+		newSize = live + 64 // budget exhausted; keep limping with minimum headroom
+	}
+	c.cur = c.heap.GrowSpace(toID, newSize)
+	c.heap.ReplaceSpace(fromID, 0)
+}
+
+// semispaceShare returns the budget available to each semispace.
+func (c *Semispace) semispaceShare() uint64 {
+	losWords := c.los.UsedWords()
+	if 2*losWords >= c.cfg.BudgetWords {
+		return 512
+	}
+	return (c.cfg.BudgetWords - losWords) / 2
+}
+
+// forwardRoot forwards the pointer stored at a root location.
+func (c *Semispace) forwardRoot(ev *evacuator, loc RootLoc) {
+	c.stats.RootsFound++
+	if loc.IsReg {
+		v := c.stack.Reg(loc.Index)
+		if nv := ev.forward(v); nv != v {
+			c.stack.SetReg(loc.Index, nv)
+		}
+		return
+	}
+	v := c.stack.RawSlot(loc.Index)
+	if nv := ev.forward(v); nv != v {
+		c.stack.SetRawSlot(loc.Index, nv)
+	}
+}

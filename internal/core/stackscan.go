@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/rt"
+)
+
+// MarkerPolicy selects how stack markers are placed (§7.1 notes "the
+// placement policy of stack markers presented above is just one of
+// several possible choices ... a more dynamic policy of marker placement
+// may achieve better performance with fewer markers").
+type MarkerPolicy uint8
+
+const (
+	// MarkerFixed places a marker on every n-th frame plus the top frame
+	// — the paper's policy (n = 25 in its experiments).
+	MarkerFixed MarkerPolicy = iota
+	// MarkerExponential places markers at exponentially growing distances
+	// from the top of the stack (1, 2, 4, 8, ... frames down): O(log
+	// depth) markers, with the guarantee that after popping k frames a
+	// surviving marker lies within k frames of the new top, so rescans
+	// stay proportional to the actual churn.
+	MarkerExponential
+)
+
+// StackScanner performs the paper's two-pass stack-root scan (§2.3) and,
+// when markerN > 0, the generational stack collection of §5: after every
+// scan it installs stack markers, and on the next scan it reuses the
+// cached decode results for every frame strictly below the shallowest
+// surviving marker.
+//
+// Pass 1 walks the stack newest→oldest, recovering each frame's layout
+// from the return key stored in the frame above it (the trace-table
+// lookup). Pass 2 walks oldest→newest maintaining the pointer status of
+// the register set, resolving CALLEE-SAVE slots from that status and
+// COMPUTE slots from runtime type values, and emitting root locations.
+type StackScanner struct {
+	stack *rt.Stack
+	meter *costmodel.Meter
+	stats *GCStats
+
+	// markerN is the paper's n: a marker is placed on every n-th frame
+	// (plus the top frame). Zero disables generational stack collection.
+	markerN int
+	policy  MarkerPolicy
+	// revisitOnMinor makes minor scans re-trace cached root locations
+	// instead of skipping reused frames outright. Required when survivors
+	// are not promoted immediately (the aging configuration): cached
+	// frames may hold pointers into the still-collected aging space. This
+	// is the paper's weaker-but-still-profitable mode: "it is still
+	// advantageous to have amortized the cost of decoding the stack
+	// frames by storing the decoded results".
+	revisitOnMinor bool
+
+	cache       []frameCache
+	lastPushCnt uint64 // stack.FramePushes() at the previous scan
+}
+
+// frameCache holds the decoded results for one frame: the discovered root
+// slot locations and the register pointer-status after the frame's
+// register traces were applied — "the register state and root list" the
+// paper stores.
+type frameCache struct {
+	serial    uint64
+	base      int
+	key       rt.RetKey
+	roots     []int // absolute slot indices holding pointers
+	regStatus uint32
+}
+
+// NewStackScanner creates a scanner over stack. markerN = 0 disables
+// stack markers (the baseline configuration).
+func NewStackScanner(stack *rt.Stack, meter *costmodel.Meter, stats *GCStats, markerN int) *StackScanner {
+	return &StackScanner{stack: stack, meter: meter, stats: stats, markerN: markerN}
+}
+
+// NoteCollection records the Table 2 depth and new-frame statistics for
+// one collection event. Collectors call it exactly once per collection,
+// even when a minor collection escalates to a major one (which scans the
+// stack a second time).
+func (sc *StackScanner) NoteCollection() {
+	depth := sc.stack.FrameCount()
+	sc.stats.DepthSum += uint64(depth)
+	if uint64(depth) > sc.stats.MaxDepthAtGC {
+		sc.stats.MaxDepthAtGC = uint64(depth)
+	}
+	newFrames := 0
+	for i := depth - 1; i >= 0; i-- {
+		if sc.stack.FrameSerial(i) < sc.lastPushCnt {
+			break
+		}
+		newFrames++
+	}
+	sc.stats.NewFrames += uint64(newFrames)
+	sc.lastPushCnt = sc.stack.FramePushes()
+}
+
+// Scan discovers the root set and calls visit for every root location.
+//
+// For a minor collection under immediate promotion, frames below the
+// reuse boundary cannot reference the nursery (their pointers were
+// forwarded to the old generation at the previous collection and the
+// frames have not been touched since), so they are skipped outright. For
+// a major collection their cached root locations are re-visited without
+// re-decoding the frames.
+func (sc *StackScanner) Scan(minor bool, visit func(RootLoc)) {
+	depth := sc.stack.FrameCount()
+
+	// Determine the reusable prefix [0, reuse).
+	reuse := 0
+	if sc.markerN > 0 {
+		sc.meter.Charge(costmodel.GCStack, costmodel.WatermarkCheck)
+		b := sc.stack.ReuseBoundary()
+		reuse = b // frames 0..b-1 are unchanged
+		if reuse < 0 {
+			reuse = 0
+		}
+		if reuse > len(sc.cache) {
+			// Cache is shorter than the boundary (should not happen: the
+			// boundary only covers frames scanned before). Be safe.
+			reuse = len(sc.cache)
+		}
+		if reuse > depth {
+			reuse = depth
+		}
+		sc.validateCache(reuse)
+	}
+
+	var regStatus uint32
+	if reuse > 0 {
+		regStatus = sc.cache[reuse-1].regStatus
+		sc.stats.FramesReused += uint64(reuse)
+		if minor && !sc.revisitOnMinor {
+			// Immediate promotion: reused frames contribute no nursery
+			// roots at a minor collection.
+			sc.meter.ChargeN(costmodel.GCStack, costmodel.FrameReuse, uint64(reuse))
+		} else {
+			// Major collection: re-trace the cached root locations.
+			for i := 0; i < reuse; i++ {
+				sc.meter.Charge(costmodel.GCStack, costmodel.FrameReuse)
+				for _, idx := range sc.cache[i].roots {
+					sc.meter.Charge(costmodel.GCStack, costmodel.CachedRoot)
+					visit(RootLoc{Index: idx})
+				}
+			}
+		}
+	}
+
+	// Pass 1: decode layouts for frames [reuse, depth) newest→oldest by
+	// following the return-key chain from the current execution point.
+	keys := make([]rt.RetKey, depth)
+	if depth > 0 {
+		keys[depth-1] = sc.stack.CurrentKey()
+		for i := depth - 1; i > reuse; i-- {
+			keys[i-1] = sc.stack.StoredRetKey(i)
+		}
+	}
+
+	// Pass 2: oldest→newest over the non-reused suffix.
+	sc.cache = sc.cache[:reuse]
+	for i := reuse; i < depth; i++ {
+		regStatus = sc.decodeFrame(i, keys[i], regStatus, visit)
+	}
+
+	// Registers of the current execution point are always roots when the
+	// trace information says so.
+	table := sc.stack.Table()
+	if depth > 0 {
+		fi := table.Lookup(sc.stack.CurrentKey())
+		for r := 0; r < rt.NumRegs; r++ {
+			sc.meter.Charge(costmodel.GCStack, costmodel.SlotTrace)
+			if sc.resolveRegTrace(fi, r, regStatus) {
+				sc.meter.Charge(costmodel.GCStack, costmodel.RootProcess)
+				visit(RootLoc{IsReg: true, Index: r})
+			}
+		}
+	}
+
+	// Place markers for the next collection.
+	if sc.markerN > 0 {
+		switch sc.policy {
+		case MarkerFixed:
+			// Every markerN-th frame plus the top frame (maximizing
+			// reuse for stacks that stay deep).
+			for i := sc.markerN - 1; i < depth; i += sc.markerN {
+				sc.placeMarker(i)
+			}
+			if depth > 0 {
+				sc.placeMarker(depth - 1)
+			}
+		case MarkerExponential:
+			// Only above the reuse boundary: frames below it still carry
+			// the valid markers that established the boundary.
+			for d := 1; depth-d >= reuse; d *= 2 {
+				sc.placeMarker(depth - d)
+			}
+			if depth > 0 && reuse == 0 {
+				sc.placeMarker(0)
+			}
+		}
+		sc.stack.ResetEpoch()
+	}
+}
+
+// SetMarkerPolicy selects the marker placement policy (default
+// MarkerFixed, the paper's).
+func (sc *StackScanner) SetMarkerPolicy(p MarkerPolicy) { sc.policy = p }
+
+// SetRevisitOnMinor switches minor scans from frame skipping to
+// cached-root revisiting (required without immediate promotion).
+func (sc *StackScanner) SetRevisitOnMinor(v bool) { sc.revisitOnMinor = v }
+
+func (sc *StackScanner) placeMarker(i int) {
+	if sc.stack.PlaceMarker(i) {
+		sc.meter.Charge(costmodel.GCStack, costmodel.MarkerPlace)
+		sc.stats.MarkersPlaced++
+	}
+}
+
+// validateCache asserts that the reusable cache prefix still describes the
+// live frames; a mismatch means the marker bookkeeping is unsound.
+func (sc *StackScanner) validateCache(reuse int) {
+	for i := 0; i < reuse; i++ {
+		c := sc.cache[i]
+		if c.serial != sc.stack.FrameSerial(i) || c.base != sc.stack.FrameBase(i) ||
+			c.key != sc.stack.FrameKey(i) {
+			panic(fmt.Sprintf("core: stale frame cache at index %d", i))
+		}
+	}
+}
+
+// decodeFrame fully decodes frame i (layout key) in pass-2 order, emits
+// its roots, records its cache entry, and returns the register status
+// after applying the frame's register traces.
+func (sc *StackScanner) decodeFrame(i int, key rt.RetKey, regStatus uint32, visit func(RootLoc)) uint32 {
+	sc.meter.Charge(costmodel.GCStack, costmodel.FrameDecode)
+	sc.stats.FramesDecoded++
+	table := sc.stack.Table()
+	fi := table.Lookup(key)
+	if fi == nil {
+		panic(fmt.Sprintf("core: frame %d has no layout (key %d)", i, key))
+	}
+	base := sc.stack.FrameBase(i)
+	isTop := i == sc.stack.FrameCount()-1
+
+	var roots []int
+	for j := 1; j < fi.Size; j++ {
+		sc.meter.Charge(costmodel.GCStack, costmodel.SlotTrace)
+		if sc.resolveSlotTrace(fi, j, base, regStatus, isTop) {
+			idx := base + j
+			roots = append(roots, idx)
+			sc.meter.Charge(costmodel.GCStack, costmodel.RootProcess)
+			visit(RootLoc{Index: idx})
+		}
+	}
+
+	newStatus := regStatus
+	for r := 0; r < rt.NumRegs; r++ {
+		if sc.applyRegTrace(fi, r, base, regStatus, isTop) {
+			newStatus |= 1 << r
+		} else {
+			newStatus &^= 1 << r
+		}
+	}
+
+	sc.cache = append(sc.cache, frameCache{
+		serial:    sc.stack.FrameSerial(i),
+		base:      base,
+		key:       key,
+		roots:     roots,
+		regStatus: newStatus,
+	})
+	return newStatus
+}
+
+// resolveSlotTrace reports whether slot j of the frame at base holds a
+// pointer, given the register status inherited from the caller chain.
+func (sc *StackScanner) resolveSlotTrace(fi *rt.FrameInfo, j, base int, regStatus uint32, isTop bool) bool {
+	tr := fi.Slots[j]
+	switch tr.Kind {
+	case rt.TracePointer:
+		return true
+	case rt.TraceNonPointer:
+		return false
+	case rt.TraceCalleeSave:
+		return regStatus>>tr.Arg&1 == 1
+	case rt.TraceCompute:
+		sc.meter.Charge(costmodel.GCStack, costmodel.ComputeTrace)
+		return sc.typeValue(tr, base, isTop) == rt.TypePointer
+	}
+	panic("core: unknown slot trace")
+}
+
+// applyRegTrace reports whether register r holds a pointer at the call
+// point in this frame, per the frame's register trace information.
+func (sc *StackScanner) applyRegTrace(fi *rt.FrameInfo, r, base int, regStatus uint32, isTop bool) bool {
+	tr := fi.Regs[r]
+	switch tr.Kind {
+	case rt.TracePointer:
+		return true
+	case rt.TraceNonPointer:
+		return false
+	case rt.TraceCalleeSave:
+		// Register preserved from the caller: status unchanged.
+		return regStatus>>r&1 == 1
+	case rt.TraceCompute:
+		sc.meter.Charge(costmodel.GCStack, costmodel.ComputeTrace)
+		return sc.typeValue(tr, base, isTop) == rt.TypePointer
+	}
+	panic("core: unknown register trace")
+}
+
+// resolveRegTrace decides pointer-ness of live register r for the top
+// frame, whose register contents are current.
+func (sc *StackScanner) resolveRegTrace(fi *rt.FrameInfo, r int, regStatus uint32) bool {
+	return sc.applyRegTrace(fi, r, sc.stack.FrameBase(sc.stack.FrameCount()-1), regStatus, true)
+}
+
+// typeValue loads the runtime type a COMPUTE trace points at: a slot of
+// the same frame, or a register (valid only for the top frame, whose
+// register contents are live).
+func (sc *StackScanner) typeValue(tr rt.SlotTrace, base int, isTop bool) uint64 {
+	if tr.ArgIsReg {
+		if !isTop {
+			panic("core: COMPUTE-from-register trace in a suspended frame")
+		}
+		return sc.stack.Reg(int(tr.Arg))
+	}
+	return sc.stack.RawSlot(base + int(tr.Arg))
+}
+
+// InvalidateCache discards all cached scan results (used by tests and when
+// reconfiguring a collector).
+func (sc *StackScanner) InvalidateCache() {
+	sc.cache = sc.cache[:0]
+}
+
+// CacheLen returns the number of cached frame entries.
+func (sc *StackScanner) CacheLen() int { return len(sc.cache) }

@@ -1,0 +1,308 @@
+// Package harness runs the paper's experiments: it executes benchmark
+// workloads under configured collectors with the paper's k·Min memory
+// budgets (Min = twice the maximum live data, measured by a calibration
+// run), gathers the measurements the tables report, derives pretenuring
+// policies from profiling runs, and renders Tables 2-7 and Figure 2.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"tilgc/internal/core"
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+	"tilgc/internal/prof"
+	"tilgc/internal/rt"
+	"tilgc/internal/workload"
+)
+
+// CollectorKind selects one of the paper's four configurations (§3), plus
+// the ablations.
+type CollectorKind int
+
+const (
+	// KindSemispace is the §2.1 semispace baseline.
+	KindSemispace CollectorKind = iota
+	// KindGenerational is the two-generation collector.
+	KindGenerational
+	// KindGenMarkers adds generational stack collection (§5).
+	KindGenMarkers
+	// KindGenMarkersPretenure adds profile-driven pretenuring (§6).
+	KindGenMarkersPretenure
+	// KindGenMarkersPretenureElide adds §7.2 scan elision.
+	KindGenMarkersPretenureElide
+	// KindGenCards swaps the SSB for card marking (§4 ablation).
+	KindGenCards
+	// KindGenPretenure is pretenuring without stack markers (ablation).
+	KindGenPretenure
+	// KindGenAging disables immediate promotion: survivors age through an
+	// intermediate space for 3 minor collections before tenuring (§7.2).
+	KindGenAging
+	// KindGenAgingPretenure adds profile-driven pretenuring on top of
+	// aging — the configuration §7.2 predicts benefits most.
+	KindGenAgingPretenure
+)
+
+// String names the configuration as the tables label it.
+func (k CollectorKind) String() string {
+	switch k {
+	case KindSemispace:
+		return "semispace"
+	case KindGenerational:
+		return "generational"
+	case KindGenMarkers:
+		return "gen+markers"
+	case KindGenMarkersPretenure:
+		return "gen+markers+pretenure"
+	case KindGenMarkersPretenureElide:
+		return "gen+markers+pretenure+elide"
+	case KindGenCards:
+		return "gen+cards"
+	case KindGenPretenure:
+		return "gen+pretenure"
+	case KindGenAging:
+		return "gen+aging"
+	case KindGenAgingPretenure:
+		return "gen+aging+pretenure"
+	}
+	return fmt.Sprintf("CollectorKind(%d)", int(k))
+}
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	Workload string
+	Scale    workload.Scale
+	Kind     CollectorKind
+	// K is the memory multiple of Min = 2·max-live; 0 means unconstrained.
+	K float64
+	// MarkerN overrides the stack-marker spacing (default 25, the paper's n).
+	MarkerN int
+	// Profile attaches the heap profiler to this run.
+	Profile bool
+	// PretenureCutoff overrides the old% cutoff (default 80).
+	PretenureCutoff float64
+}
+
+// RunResult carries everything the tables need from one run.
+type RunResult struct {
+	Config   RunConfig
+	Check    uint64
+	Times    costmodel.Breakdown
+	Stats    core.GCStats
+	Updates  uint64 // barriered pointer updates (Table 2)
+	MaxDepth int
+	Profiler *prof.Profiler // non-nil when Config.Profile
+	Policy   *core.PretenurePolicy
+}
+
+// Total returns total pseudo-seconds.
+func (r *RunResult) Total() float64 { return r.Times.Total().Seconds() }
+
+// GC returns collector pseudo-seconds.
+func (r *RunResult) GC() float64 { return r.Times.GC().Seconds() }
+
+// Client returns mutator pseudo-seconds.
+func (r *RunResult) Client() float64 { return r.Times.Client.Seconds() }
+
+// calibration caches per-workload measurements that experiments share.
+type calibration struct {
+	maxLiveWords uint64
+	policy       *core.PretenurePolicy
+	profiler     *prof.Profiler
+}
+
+var (
+	calMu    sync.Mutex
+	calCache = map[string]*calibration{}
+)
+
+func calKey(name string, s workload.Scale) string {
+	return fmt.Sprintf("%s/%g/%g", name, s.Repeat, s.Depth)
+}
+
+// Calibrate measures a workload's maximum live data and heap profile with
+// an instrumented, generously-budgeted generational run, and derives the
+// pretenuring policy. Results are cached per (workload, scale).
+func Calibrate(name string, scale workload.Scale) (*calibration, error) {
+	calMu.Lock()
+	defer calMu.Unlock()
+	key := calKey(name, scale)
+	if c, ok := calCache[key]; ok {
+		return c, nil
+	}
+	w, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 1: rough live estimate with a generous budget (major
+	// collections are rare, so the high-water mark may be loose). The
+	// profile for pretenuring comes from this pass.
+	runPass := func(budget uint64, profiler *prof.Profiler) *core.Generational {
+		table := rt.NewTraceTable()
+		meter := costmodel.NewMeter()
+		stack := rt.NewStack(table, meter)
+		var hook core.Profiler
+		if profiler != nil {
+			hook = profiler
+		}
+		// Small nursery: frequent live-set samples for a tight estimate.
+		col := core.NewGenerational(stack, meter, hook, core.GenConfig{
+			BudgetWords:  budget,
+			NurseryWords: 4 * 1024,
+		})
+		m := workload.NewMutator(col, stack, table, meter)
+		w.Run(m, scale)
+		col.Collect(true) // final major: exact live floor
+		return col
+	}
+	profiler := prof.New(w.Sites())
+	rough := runPass(1<<24, profiler)
+	profiler.Finalize()
+	// Pass 2: a tight budget (a few multiples of the rough maximum)
+	// forces frequent major collections, sampling the true live-set peak
+	// closely. Max live only moves up, so the rough value is the floor.
+	tightBudget := 6 * rough.Stats().MaxLiveBytes / mem.WordSize
+	if tightBudget < 64*1024 {
+		tightBudget = 64 * 1024
+	}
+	tight := runPass(tightBudget, nil)
+	maxLive := max(rough.Stats().MaxLiveBytes, tight.Stats().MaxLiveBytes)
+
+	policy := profiler.Policy(80, 32)
+	// Attach the §7.2 manual-dataflow flags to the policy sites.
+	onlyOld := map[obj.SiteID]bool{}
+	for _, s := range w.OnlyOldSites() {
+		onlyOld[s] = true
+	}
+	sites := map[obj.SiteID]core.PretenureDecision{}
+	for _, id := range policy.Sites() {
+		sites[id] = core.PretenureDecision{OnlyOldRefs: onlyOld[id]}
+	}
+	c := &calibration{
+		maxLiveWords: maxLive / mem.WordSize,
+		policy:       core.NewPretenurePolicy(sites),
+		profiler:     profiler,
+	}
+	if c.maxLiveWords < 256 {
+		c.maxLiveWords = 256
+	}
+	calCache[key] = c
+	return c, nil
+}
+
+// ClearCalibrationCache drops cached calibrations (tests).
+func ClearCalibrationCache() {
+	calMu.Lock()
+	defer calMu.Unlock()
+	calCache = map[string]*calibration{}
+}
+
+// Run executes one experiment.
+func Run(cfg RunConfig) (*RunResult, error) {
+	w, err := workload.Get(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cal, err := Calibrate(cfg.Workload, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+
+	// The paper's budget: k · Min, Min = 2 · max live.
+	budget := uint64(1) << 24 // unconstrained default
+	if cfg.K > 0 {
+		budget = uint64(cfg.K * 2 * float64(cal.maxLiveWords))
+	}
+	markerN := cfg.MarkerN
+	if markerN == 0 {
+		markerN = 25
+	}
+
+	table := rt.NewTraceTable()
+	meter := costmodel.NewMeter()
+	stack := rt.NewStack(table, meter)
+	var profiler *prof.Profiler
+	var profHook core.Profiler
+	if cfg.Profile {
+		profiler = prof.New(w.Sites())
+		profHook = profiler
+	}
+
+	var col core.Collector
+	var updates func() uint64
+	switch cfg.Kind {
+	case KindSemispace:
+		col = core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
+			BudgetWords: budget,
+		})
+		updates = func() uint64 { return 0 }
+	default:
+		gcfg := core.GenConfig{
+			BudgetWords:  budget,
+			NurseryWords: nurseryFor(budget),
+		}
+		if cfg.Profile && cfg.K == 0 {
+			// Unconstrained profiling runs (Figure 2) use a small nursery
+			// so object lifetimes are sampled frequently.
+			gcfg.NurseryWords = 4 * 1024
+		}
+		switch cfg.Kind {
+		case KindGenerational:
+		case KindGenMarkers:
+			gcfg.MarkerN = markerN
+		case KindGenMarkersPretenure:
+			gcfg.MarkerN = markerN
+			gcfg.Pretenure = cal.policy
+		case KindGenMarkersPretenureElide:
+			gcfg.MarkerN = markerN
+			gcfg.Pretenure = cal.policy
+			gcfg.ScanElision = true
+		case KindGenCards:
+			gcfg.UseCardTable = true
+		case KindGenPretenure:
+			gcfg.Pretenure = cal.policy
+		case KindGenAging:
+			gcfg.AgingMinors = 3
+		case KindGenAgingPretenure:
+			gcfg.AgingMinors = 3
+			gcfg.Pretenure = cal.policy
+		default:
+			return nil, fmt.Errorf("harness: unknown collector kind %v", cfg.Kind)
+		}
+		g := core.NewGenerational(stack, meter, profHook, gcfg)
+		col = g
+		updates = g.PointerUpdates
+	}
+
+	m := workload.NewMutator(col, stack, table, meter)
+	res := w.Run(m, cfg.Scale)
+	if profiler != nil {
+		profiler.Finalize()
+	}
+	return &RunResult{
+		Config:   cfg,
+		Check:    res.Check,
+		Times:    meter.Snapshot(),
+		Stats:    *col.Stats(),
+		Updates:  updates(),
+		MaxDepth: stack.MaxDepth(),
+		Profiler: profiler,
+		Policy:   cal.policy,
+	}, nil
+}
+
+// nurseryFor sizes the nursery: the paper's 512KB cache-sized nursery,
+// shrunk when the total budget is small ("for benchmarking reasons, the
+// nursery is sometimes made significantly smaller").
+func nurseryFor(budgetWords uint64) uint64 {
+	n := uint64(64 * 1024) // 512KB
+	if n > budgetWords/4 {
+		n = budgetWords / 4
+	}
+	if n < 1024 {
+		n = 1024
+	}
+	return n
+}

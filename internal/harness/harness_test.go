@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"tilgc/internal/workload"
+)
+
+// tiny keeps harness tests fast.
+var tiny = workload.Scale{Repeat: 0.002, Depth: 0.3}
+
+func TestCalibrateCachesAndMeasures(t *testing.T) {
+	ClearCalibrationCache()
+	c1, err := Calibrate("Nqueen", tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.maxLiveWords == 0 {
+		t.Fatal("calibration measured zero live data")
+	}
+	c2, _ := Calibrate("Nqueen", tiny)
+	if c1 != c2 {
+		t.Fatal("calibration not cached")
+	}
+}
+
+func TestCalibrationPolicySelectsLongLivedSites(t *testing.T) {
+	ClearCalibrationCache()
+	c, err := Calibrate("Nqueen", workload.Scale{Repeat: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.policy.Len() == 0 {
+		t.Fatal("Nqueen policy selected no sites; profile-driven pretenuring impossible")
+	}
+}
+
+func TestRunProducesConsistentChecks(t *testing.T) {
+	kinds := []CollectorKind{
+		KindSemispace, KindGenerational, KindGenMarkers,
+		KindGenMarkersPretenure, KindGenMarkersPretenureElide, KindGenCards,
+	}
+	var ref uint64
+	for i, kind := range kinds {
+		r, err := Run(RunConfig{Workload: "Life", Scale: tiny, Kind: kind, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = r.Check
+		} else if r.Check != ref {
+			t.Fatalf("%v check %#x, want %#x", kind, r.Check, ref)
+		}
+		if r.Times.Total() == 0 {
+			t.Fatalf("%v charged no time", kind)
+		}
+	}
+}
+
+func TestBudgetAffectsGCCount(t *testing.T) {
+	small, err := Run(RunConfig{Workload: "Life", Scale: tiny, Kind: KindSemispace, K: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(RunConfig{Workload: "Life", Scale: tiny, Kind: KindSemispace, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Stats.NumGC <= large.Stats.NumGC {
+		t.Fatalf("k=1.5 ran %d GCs, k=4 ran %d; smaller budgets must collect more",
+			small.Stats.NumGC, large.Stats.NumGC)
+	}
+}
+
+func TestMarkersReduceKBGCStackCost(t *testing.T) {
+	scale := workload.Scale{Repeat: 0.004, Depth: 1}
+	base, err := Run(RunConfig{Workload: "Knuth-Bendix", Scale: scale, Kind: KindGenerational, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk, err := Run(RunConfig{Workload: "Knuth-Bendix", Scale: scale, Kind: KindGenMarkers, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk.Check != base.Check {
+		t.Fatal("markers changed the computation")
+	}
+	if mk.Times.GCStack*2 > base.Times.GCStack {
+		t.Fatalf("markers did not halve KB stack cost: %d vs %d",
+			mk.Times.GCStack, base.Times.GCStack)
+	}
+}
+
+func TestPretenuringReducesNqueenCopying(t *testing.T) {
+	scale := workload.Scale{Repeat: 0.01}
+	base, err := Run(RunConfig{Workload: "Nqueen", Scale: scale, Kind: KindGenMarkers, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Run(RunConfig{Workload: "Nqueen", Scale: scale, Kind: KindGenMarkersPretenure, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Check != base.Check {
+		t.Fatal("pretenuring changed the computation")
+	}
+	if pre.Stats.BytesCopied >= base.Stats.BytesCopied {
+		t.Fatalf("pretenuring did not reduce copying: %d vs %d",
+			pre.Stats.BytesCopied, base.Stats.BytesCopied)
+	}
+}
+
+func TestProfileRunAttachesProfiler(t *testing.T) {
+	r, err := Run(RunConfig{Workload: "Nqueen", Scale: tiny, Kind: KindGenerational, Profile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Profiler == nil || r.Profiler.TotalAllocated() == 0 {
+		t.Fatal("profiler missing or empty")
+	}
+}
+
+func TestTableRenderersProduceOutput(t *testing.T) {
+	cases := map[string]func(*strings.Builder) error{
+		"table1":  func(b *strings.Builder) error { return Table1(b) },
+		"figure2": func(b *strings.Builder) error { return Figure2(b, tiny) },
+		"elide":   func(b *strings.Builder) error { return ExtensionElide(b, tiny) },
+		"barrier": func(b *strings.Builder) error { return ExtensionBarrier(b, tiny) },
+	}
+	for name, fn := range cases {
+		var b strings.Builder
+		if err := fn(&b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.Len() < 100 {
+			t.Fatalf("%s output suspiciously short:\n%s", name, b.String())
+		}
+	}
+}
+
+func TestTable5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table sweep")
+	}
+	var b strings.Builder
+	if err := Table5(&b, workload.Scale{Repeat: 0.002, Depth: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Knuth-Bendix") || !strings.Contains(out, "decreased") {
+		t.Fatalf("table 5 malformed:\n%s", out)
+	}
+}
+
+func TestNurseryFor(t *testing.T) {
+	if nurseryFor(1<<24) != 64*1024 {
+		t.Error("big budget should give the 512KB nursery")
+	}
+	if n := nurseryFor(8 * 1024); n != 2*1024 {
+		t.Errorf("small budget nursery = %d", n)
+	}
+	if n := nurseryFor(100); n != 1024 {
+		t.Errorf("floor nursery = %d", n)
+	}
+}
+
+func TestCollectorKindStrings(t *testing.T) {
+	for k := KindSemispace; k <= KindGenPretenure; k++ {
+		if strings.Contains(k.String(), "CollectorKind") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+// TestAllTableRenderers exercises every table renderer end to end at a
+// tiny scale (slow: a full k-sweep per table).
+func TestAllTableRenderers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table sweeps")
+	}
+	scale := workload.Scale{Repeat: 0.001, Depth: 0.15}
+	renderers := map[string]func(*strings.Builder) error{
+		"table2": func(b *strings.Builder) error { return Table2(b, scale) },
+		"table3": func(b *strings.Builder) error { return Table3(b, scale) },
+		"table4": func(b *strings.Builder) error { return Table4(b, scale) },
+		"table6": func(b *strings.Builder) error { return Table6(b, scale) },
+		"table7": func(b *strings.Builder) error { return Table7(b, scale) },
+		"aging":  func(b *strings.Builder) error { return ExtensionAging(b, scale) },
+		"msweep": func(b *strings.Builder) error {
+			return MarkerSweep(b, scale, []string{"Color"}, []int{5, 50})
+		},
+	}
+	for name, fn := range renderers {
+		var b strings.Builder
+		if err := fn(&b); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "Knuth-Bendix") && !strings.Contains(out, "Color") {
+			t.Fatalf("%s output missing benchmarks:\n%s", name, out)
+		}
+	}
+}
+
+func TestAgingKindsRunCorrectly(t *testing.T) {
+	var ref uint64
+	for i, kind := range []CollectorKind{KindGenerational, KindGenAging, KindGenAgingPretenure} {
+		r, err := Run(RunConfig{Workload: "Nqueen", Scale: tiny, Kind: kind, K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = r.Check
+		} else if r.Check != ref {
+			t.Fatalf("%v check mismatch", kind)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"tilgc/internal/prof"
+	"tilgc/internal/workload"
+)
+
+// PaperOrder lists the benchmarks in the order the paper's tables use.
+var PaperOrder = []string{
+	"Checksum", "Color", "FFT", "Grobner", "Knuth-Bendix",
+	"Lexgen", "Life", "Nqueen", "Peg", "PIA", "Simple",
+}
+
+// PaperKs are the memory multiples the paper sweeps.
+var PaperKs = []float64{1.5, 2.0, 4.0}
+
+// PretenureTargets are the four benchmarks the heap profiles select for
+// pretenuring (§6).
+var PretenureTargets = []string{"Knuth-Bendix", "Lexgen", "Nqueen", "Simple"}
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n================ %s ================\n", title)
+}
+
+// Table1 renders the benchmark descriptions.
+func Table1(w io.Writer) error {
+	header(w, "Table 1: Benchmark programs")
+	for _, name := range PaperOrder {
+		wl, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-13s %s\n", wl.Name(), wl.Description())
+	}
+	return nil
+}
+
+// Table2 renders the allocation characteristics of the benchmarks.
+func Table2(w io.Writer, scale workload.Scale) error {
+	header(w, "Table 2: Allocation characteristics of benchmarks")
+	fmt.Fprintf(w, "%-13s %9s %9s %9s %9s %14s %10s %10s\n",
+		"Program", "Total", "Max Live", "Records", "Arrays",
+		"Max(Avg)Frames", "New Frames", "Ptr Updates")
+	for _, name := range PaperOrder {
+		r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenerational})
+		if err != nil {
+			return err
+		}
+		cal, err := Calibrate(name, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-13s %8.1fMB %8.0fKB %8.1fMB %8.1fMB %7d(%6.1f) %10.1f %10d\n",
+			name,
+			mb(r.Stats.BytesAllocated), kb(cal.maxLiveWords*8),
+			mb(r.Stats.RecordBytes), mb(r.Stats.ArrayBytes),
+			r.Stats.MaxDepthAtGC, r.Stats.AvgDepthAtGC(),
+			r.Stats.AvgNewFrames(), r.Updates)
+	}
+	return nil
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+func kb(b uint64) float64 { return float64(b) / (1 << 10) }
+
+// kSweep runs a workload under a collector kind for every paper k.
+func kSweep(name string, scale workload.Scale, kind CollectorKind) ([]*RunResult, error) {
+	var out []*RunResult
+	for _, k := range PaperKs {
+		r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: kind, K: k})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// sweepTable renders the Table 3/4 layout for a collector kind.
+func sweepTable(w io.Writer, scale workload.Scale, kind CollectorKind, withDepth bool) error {
+	fmt.Fprintf(w, "%-13s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+		"", "Total", "Total", "Total", "GC", "GC", "GC", "Client", "Client", "Client")
+	fmt.Fprintf(w, "%-13s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+		"Program", "k=1.5", "k=2.0", "k=4.0", "k=1.5", "k=2.0", "k=4.0", "k=1.5", "k=2.0", "k=4.0")
+	all := map[string][]*RunResult{}
+	for _, name := range PaperOrder {
+		rs, err := kSweep(name, scale, kind)
+		if err != nil {
+			return err
+		}
+		all[name] = rs
+		fmt.Fprintf(w, "%-13s | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f\n",
+			name,
+			rs[0].Total(), rs[1].Total(), rs[2].Total(),
+			rs[0].GC(), rs[1].GC(), rs[2].GC(),
+			rs[0].Client(), rs[1].Client(), rs[2].Client())
+	}
+	fmt.Fprintln(w)
+	if withDepth {
+		fmt.Fprintf(w, "%-13s | %8s %8s %8s | %12s %12s %12s | %9s\n",
+			"Program", "GCs@1.5", "GCs@2.0", "GCs@4.0",
+			"copied@1.5", "copied@2.0", "copied@4.0", "AvgFrames")
+	} else {
+		fmt.Fprintf(w, "%-13s | %8s %8s %8s | %12s %12s %12s\n",
+			"Program", "GCs@1.5", "GCs@2.0", "GCs@4.0",
+			"copied@1.5", "copied@2.0", "copied@4.0")
+	}
+	for _, name := range PaperOrder {
+		rs := all[name]
+		if withDepth {
+			fmt.Fprintf(w, "%-13s | %8d %8d %8d | %12d %12d %12d | %9.1f\n",
+				name, rs[0].Stats.NumGC, rs[1].Stats.NumGC, rs[2].Stats.NumGC,
+				rs[0].Stats.BytesCopied, rs[1].Stats.BytesCopied, rs[2].Stats.BytesCopied,
+				rs[2].Stats.AvgDepthAtGC())
+		} else {
+			fmt.Fprintf(w, "%-13s | %8d %8d %8d | %12d %12d %12d\n",
+				name, rs[0].Stats.NumGC, rs[1].Stats.NumGC, rs[2].Stats.NumGC,
+				rs[0].Stats.BytesCopied, rs[1].Stats.BytesCopied, rs[2].Stats.BytesCopied)
+		}
+	}
+	return nil
+}
+
+// Table3 renders the semispace collector sweep.
+func Table3(w io.Writer, scale workload.Scale) error {
+	header(w, "Table 3: Time and space usage for semispace collector (pseudo-seconds)")
+	return sweepTable(w, scale, KindSemispace, false)
+}
+
+// Table4 renders the generational collector sweep.
+func Table4(w io.Writer, scale workload.Scale) error {
+	header(w, "Table 4: Time and space usage for generational collector (pseudo-seconds)")
+	return sweepTable(w, scale, KindGenerational, true)
+}
+
+// Table5 renders the GC-cost breakdown without and with stack markers at
+// k = 4.
+func Table5(w io.Writer, scale workload.Scale) error {
+	header(w, "Table 5: Breakdown of GC cost at k=4 without and with stack markers")
+	fmt.Fprintf(w, "%-13s | %7s %7s %7s %7s | %7s %7s %7s %7s | %9s\n",
+		"", "-----", "without", "markers", "-----", "-----", "with", "markers", "-----", "GC%")
+	fmt.Fprintf(w, "%-13s | %7s %7s %7s %7s | %7s %7s %7s %7s | %9s\n",
+		"Program", "GC", "stack", "copy", "stack%", "GC", "stack", "copy", "stack%", "decreased")
+	for _, name := range PaperOrder {
+		base, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: 4})
+		if err != nil {
+			return err
+		}
+		mk, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4})
+		if err != nil {
+			return err
+		}
+		bs, ms := base.Times, mk.Times
+		dec := 100 * (1 - float64(ms.GC())/float64(max(bs.GC(), 1)))
+		fmt.Fprintf(w, "%-13s | %7.3f %7.3f %7.3f %6.1f%% | %7.3f %7.3f %7.3f %6.1f%% | %8.1f%%\n",
+			name,
+			bs.GC().Seconds(), bs.GCStack.Seconds(), bs.GCCopy.Seconds(),
+			100*float64(bs.GCStack)/float64(max(bs.GC(), 1)),
+			ms.GC().Seconds(), ms.GCStack.Seconds(), ms.GCCopy.Seconds(),
+			100*float64(ms.GCStack)/float64(max(ms.GC(), 1)),
+			dec)
+	}
+	return nil
+}
+
+// Table6 renders the pretenuring results for the profile-selected targets.
+func Table6(w io.Writer, scale workload.Scale) error {
+	header(w, "Table 6: Generational collector with stack markers and pretenuring")
+	fmt.Fprintf(w, "%-13s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s | %6s %7s %6s\n",
+		"Program", "Tot@1.5", "Tot@2.0", "Tot@4.0",
+		"GC@1.5", "GC@2.0", "GC@4.0",
+		"Cl@1.5", "Cl@2.0", "Cl@4.0", "GC%", "Client%", "Tot%")
+	type row struct {
+		pre  []*RunResult
+		base *RunResult
+	}
+	rows := map[string]row{}
+	for _, name := range PretenureTargets {
+		pre, err := kSweep(name, scale, KindGenMarkersPretenure)
+		if err != nil {
+			return err
+		}
+		base, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4})
+		if err != nil {
+			return err
+		}
+		rows[name] = row{pre: pre, base: base}
+		p4 := pre[2]
+		gcDec := 100 * (1 - p4.GC()/maxf(base.GC(), 1e-9))
+		clDec := 100 * (1 - p4.Client()/maxf(base.Client(), 1e-9))
+		totDec := 100 * (1 - p4.Total()/maxf(base.Total(), 1e-9))
+		fmt.Fprintf(w, "%-13s | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f | %5.0f%% %6.0f%% %5.0f%%\n",
+			name,
+			pre[0].Total(), pre[1].Total(), pre[2].Total(),
+			pre[0].GC(), pre[1].GC(), pre[2].GC(),
+			pre[0].Client(), pre[1].Client(), pre[2].Client(),
+			gcDec, clDec, totDec)
+	}
+	fmt.Fprintf(w, "\n%-13s | %8s %8s %8s | %12s %12s %12s | %14s\n",
+		"Program", "GCs@1.5", "GCs@2.0", "GCs@4.0",
+		"copied@1.5", "copied@2.0", "copied@4.0", "copied vs base")
+	for _, name := range PretenureTargets {
+		r := rows[name]
+		copyDec := 100 * (1 - float64(r.pre[2].Stats.BytesCopied)/maxf(float64(r.base.Stats.BytesCopied), 1))
+		fmt.Fprintf(w, "%-13s | %8d %8d %8d | %12d %12d %12d | %12.0f%%↓\n",
+			name, r.pre[0].Stats.NumGC, r.pre[1].Stats.NumGC, r.pre[2].Stats.NumGC,
+			r.pre[0].Stats.BytesCopied, r.pre[1].Stats.BytesCopied, r.pre[2].Stats.BytesCopied,
+			copyDec)
+	}
+	fmt.Fprintln(w, "\n(% decrease columns compare against gen+markers at k=4)")
+	return nil
+}
+
+// Table7 renders the relative GC times at k = 4 across the four
+// configurations, normalized to the semispace collector (the paper's bar
+// chart, as text).
+func Table7(w io.Writer, scale workload.Scale) error {
+	header(w, "Table 7: Relative GC time at k=4.0 (semispace = 100%)")
+	kinds := []CollectorKind{
+		KindSemispace, KindGenerational, KindGenMarkers, KindGenMarkersPretenure,
+	}
+	fmt.Fprintf(w, "%-13s %12s %12s %12s %12s\n",
+		"Program", "semispace", "gen", "+markers", "+pretenure")
+	for _, name := range PaperOrder {
+		var gcs []float64
+		for _, kind := range kinds {
+			r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: kind, K: 4})
+			if err != nil {
+				return err
+			}
+			gcs = append(gcs, r.GC())
+		}
+		base := maxf(gcs[0], 1e-9)
+		fmt.Fprintf(w, "%-13s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+			name, 100.0, 100*gcs[1]/base, 100*gcs[2]/base, 100*gcs[3]/base)
+	}
+	return nil
+}
+
+// Figure2 renders the heap-profile reports for Knuth-Bendix and Nqueen.
+func Figure2(w io.Writer, scale workload.Scale) error {
+	return Profiles(w, scale, []string{"Knuth-Bendix", "Nqueen"})
+}
+
+// Profiles renders Figure 2-style heap profiles for the named benchmarks.
+func Profiles(w io.Writer, scale workload.Scale, names []string) error {
+	for _, name := range names {
+		r, err := Run(RunConfig{
+			Workload: name, Scale: scale, Kind: KindGenerational, Profile: true,
+		})
+		if err != nil {
+			return err
+		}
+		r.Profiler.WriteReport(w, prof.DefaultReportOptions(name))
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ExtensionElide renders the §7.2 scan-elision experiment: Nqueen with
+// pretenuring, without and with the dataflow-driven scan elision.
+func ExtensionElide(w io.Writer, scale workload.Scale) error {
+	header(w, "Extension (§7.2): pretenure-region scan elision on Nqueen")
+	for _, name := range []string{"Nqueen", "Knuth-Bendix"} {
+		pre, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenure, K: 4})
+		if err != nil {
+			return err
+		}
+		el, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenureElide, K: 4})
+		if err != nil {
+			return err
+		}
+		dec := 100 * (1 - el.GC()/maxf(pre.GC(), 1e-9))
+		fmt.Fprintf(w, "%-13s GC %8.3fs -> %8.3fs (%.1f%% decrease); scanned %d -> %d bytes\n",
+			name, pre.GC(), el.GC(), dec, pre.Stats.BytesScanned, el.Stats.BytesScanned)
+	}
+	return nil
+}
+
+// ExtensionAging renders the §7.2 aging experiment: without immediate
+// promotion, objects bound for the tenured generation are copied several
+// times, so pretenuring saves proportionally more — the paper's
+// prediction, measured.
+func ExtensionAging(w io.Writer, scale workload.Scale) error {
+	header(w, "Extension (§7.2): pretenuring under aging (non-immediate promotion)")
+	fmt.Fprintf(w, "%-13s %28s %29s %14s\n",
+		"", "immediate promotion", "aging (3 minors)", "benefit ratio")
+	fmt.Fprintf(w, "%-13s %13s %14s %14s %14s\n",
+		"Program", "copied(base)", "copied(pre)", "copied(base)", "copied(pre)")
+	for _, name := range PretenureTargets {
+		var copied [4]uint64
+		for i, kind := range []CollectorKind{
+			KindGenMarkers, KindGenMarkersPretenure, KindGenAging, KindGenAgingPretenure,
+		} {
+			r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: kind, K: 4})
+			if err != nil {
+				return err
+			}
+			copied[i] = r.Stats.BytesCopied
+		}
+		savedImm := int64(copied[0]) - int64(copied[1])
+		savedAge := int64(copied[2]) - int64(copied[3])
+		ratio := 0.0
+		if savedImm > 0 {
+			ratio = float64(savedAge) / float64(savedImm)
+		}
+		fmt.Fprintf(w, "%-13s %13d %14d %14d %14d %13.1fx\n",
+			name, copied[0], copied[1], copied[2], copied[3], ratio)
+	}
+	return nil
+}
+
+// ExtensionBarrier renders the §4 write-barrier ablation: Peg with the
+// sequential store buffer versus card marking.
+func ExtensionBarrier(w io.Writer, scale workload.Scale) error {
+	header(w, "Extension (§4): SSB versus card-marking write barrier")
+	for _, name := range []string{"Peg", "Life"} {
+		ssb, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: 4})
+		if err != nil {
+			return err
+		}
+		cards, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenCards, K: 4})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-13s SSB: GC %8.3fs (%d entries processed)  cards: GC %8.3fs\n",
+			name, ssb.GC(), ssb.Stats.SSBProcessed, cards.GC())
+	}
+	return nil
+}
+
+// MarkerSweep renders an ablation over the marker spacing n (§5 notes n
+// balances reuse against bookkeeping; the paper uses n = 25).
+func MarkerSweep(w io.Writer, scale workload.Scale, names []string, ns []int) error {
+	header(w, "Ablation: stack-marker spacing n")
+	for _, name := range names {
+		fmt.Fprintf(w, "%-13s:", name)
+		for _, n := range ns {
+			r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4, MarkerN: n})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  n=%-3d %7.3fs", n, r.GC())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+// Package mem provides the word-addressed arena memory that the whole
+// simulated runtime lives in.
+//
+// The paper's runtime manages raw machine memory on a DEC Alpha; we cannot
+// (and must not) take addresses into Go's own garbage-collected heap, so
+// every simulated object lives in a Space: a flat []uint64 arena with a bump
+// allocation pointer. A simulated pointer is an Addr packing a space id and
+// a word offset. The Go collector never traces simulated object graphs.
+package mem
+
+import "fmt"
+
+// WordSize is the size in bytes of one simulated machine word.
+// The paper's machine is a 64-bit Alpha, so one word is 8 bytes.
+const WordSize = 8
+
+// Addr is a simulated pointer: a space id in the high bits and a word
+// offset in the low bits. The zero Addr is the simulated nil.
+type Addr uint64
+
+const (
+	offsetBits = 40
+	offsetMask = (Addr(1) << offsetBits) - 1
+
+	// MaxSpaceWords is the largest number of words a single space can hold.
+	MaxSpaceWords = 1 << offsetBits
+)
+
+// Nil is the simulated null pointer.
+const Nil Addr = 0
+
+// MakeAddr packs a space id and a word offset into an Addr.
+func MakeAddr(space SpaceID, offset uint64) Addr {
+	return Addr(space)<<offsetBits | Addr(offset)
+}
+
+// Space returns the space id component of the address.
+func (a Addr) Space() SpaceID { return SpaceID(a >> offsetBits) }
+
+// Offset returns the word offset component of the address.
+func (a Addr) Offset() uint64 { return uint64(a & offsetMask) }
+
+// Add returns the address delta words past a, staying within the same space.
+func (a Addr) Add(delta uint64) Addr { return a + Addr(delta) }
+
+// IsNil reports whether a is the simulated null pointer.
+func (a Addr) IsNil() bool { return a == Nil }
+
+// String renders the address as space:offset for diagnostics.
+func (a Addr) String() string {
+	if a.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("%d:%#x", a.Space(), a.Offset())
+}
+
+// SpaceID names a Space within a Heap. Space id 0 is reserved so that
+// Addr(0) can serve as nil.
+type SpaceID uint32
+
+// Space is one contiguous arena with bump allocation. Offsets start at 1:
+// offset 0 of space 0 would collide with the nil address, and keeping the
+// rule uniform across spaces simplifies the math.
+type Space struct {
+	id    SpaceID
+	words []uint64
+	top   uint64 // next free word offset; starts at 1
+	limit uint64 // capacity in words (len(words))
+}
+
+// NewSpace creates a space holding capacity words of usable storage.
+func NewSpace(id SpaceID, capacity uint64) *Space {
+	if capacity+1 > MaxSpaceWords {
+		panic(fmt.Sprintf("mem: space %d capacity %d exceeds max", id, capacity))
+	}
+	return &Space{
+		id:    id,
+		words: make([]uint64, capacity+1),
+		top:   1,
+		limit: capacity + 1,
+	}
+}
+
+// ID returns the space's id.
+func (s *Space) ID() SpaceID { return s.id }
+
+// Alloc reserves n words and returns the address of the first, or false if
+// the space is full. The reserved words are zeroed (arenas are reused).
+func (s *Space) Alloc(n uint64) (Addr, bool) {
+	if s.top+n > s.limit {
+		return Nil, false
+	}
+	base := s.top
+	s.top += n
+	w := s.words[base : base+n]
+	for i := range w {
+		w[i] = 0
+	}
+	return MakeAddr(s.id, base), true
+}
+
+// Used returns the number of words allocated so far.
+func (s *Space) Used() uint64 { return s.top - 1 }
+
+// Capacity returns the usable capacity of the space in words.
+func (s *Space) Capacity() uint64 { return s.limit - 1 }
+
+// Free returns the number of words still available.
+func (s *Space) Free() uint64 { return s.limit - s.top }
+
+// Reset discards all allocations, returning the space to empty.
+func (s *Space) Reset() { s.top = 1 }
+
+// Contains reports whether a points into this space's allocated region.
+func (s *Space) Contains(a Addr) bool {
+	return a.Space() == s.id && a.Offset() >= 1 && a.Offset() < s.top
+}
+
+// Heap is the collection of spaces making up the simulated address space.
+// Space ids index into the spaces slice; id 0 is always nil (reserved).
+type Heap struct {
+	spaces []*Space
+}
+
+// NewHeap creates an empty heap with the reserved nil space slot.
+func NewHeap() *Heap {
+	return &Heap{spaces: make([]*Space, 1, 8)}
+}
+
+// AddSpace creates and registers a new space of the given capacity.
+func (h *Heap) AddSpace(capacity uint64) *Space {
+	id := SpaceID(len(h.spaces))
+	s := NewSpace(id, capacity)
+	h.spaces = append(h.spaces, s)
+	return s
+}
+
+// ReplaceSpace swaps in a fresh space of the given capacity under an
+// existing id, discarding the old contents. Collectors use this to resize
+// semispaces between collections.
+func (h *Heap) ReplaceSpace(id SpaceID, capacity uint64) *Space {
+	if int(id) <= 0 || int(id) >= len(h.spaces) {
+		panic(fmt.Sprintf("mem: ReplaceSpace of unknown space %d", id))
+	}
+	s := NewSpace(id, capacity)
+	h.spaces[id] = s
+	return s
+}
+
+// GrowSpace resizes the space with the given id to the new capacity,
+// preserving its contents and allocation pointer (offsets are stable, so
+// all addresses into the space remain valid). Shrinking below the used
+// size panics. Collectors use this to apply liveness-ratio resizing
+// policies between collections without moving objects.
+func (h *Heap) GrowSpace(id SpaceID, capacity uint64) *Space {
+	old := h.Space(id)
+	if capacity < old.Used() {
+		panic(fmt.Sprintf("mem: GrowSpace(%d, %d) below used %d", id, capacity, old.Used()))
+	}
+	s := NewSpace(id, capacity)
+	copy(s.words, old.words[:old.top])
+	s.top = old.top
+	h.spaces[id] = s
+	return s
+}
+
+// FreeSpace releases the space with the given id. Ids are not reused, so a
+// dangling simulated pointer into a freed space faults loudly (nil panic)
+// instead of silently reading reused memory.
+func (h *Heap) FreeSpace(id SpaceID) {
+	if int(id) <= 0 || int(id) >= len(h.spaces) {
+		panic(fmt.Sprintf("mem: FreeSpace of unknown space %d", id))
+	}
+	h.spaces[id] = nil
+}
+
+// Space returns the space with the given id.
+func (h *Heap) Space(id SpaceID) *Space {
+	return h.spaces[id]
+}
+
+// SpaceOf returns the space an address points into.
+func (h *Heap) SpaceOf(a Addr) *Space {
+	id := a.Space()
+	if int(id) <= 0 || int(id) >= len(h.spaces) {
+		panic(fmt.Sprintf("mem: address %v has no space", a))
+	}
+	return h.spaces[id]
+}
+
+// Load reads the word at address a.
+func (h *Heap) Load(a Addr) uint64 {
+	return h.spaces[a.Space()].words[a.Offset()]
+}
+
+// Store writes the word at address a.
+func (h *Heap) Store(a Addr, v uint64) {
+	h.spaces[a.Space()].words[a.Offset()] = v
+}
+
+// Words returns a mutable view of n words starting at a. The view aliases
+// arena storage; callers must not retain it across a space Reset or Replace.
+func (h *Heap) Words(a Addr, n uint64) []uint64 {
+	s := h.spaces[a.Space()]
+	off := a.Offset()
+	return s.words[off : off+n]
+}
+
+// Copy copies n words from src to dst, which may be in different spaces.
+func (h *Heap) Copy(dst, src Addr, n uint64) {
+	copy(h.Words(dst, n), h.Words(src, n))
+}

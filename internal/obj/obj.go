@@ -1,0 +1,262 @@
+// Package obj defines the simulated object model: the layout of heap
+// objects in arena memory and the header encoding the collector decodes.
+//
+// TIL's runtime is "nearly tag-free": integers are untagged and pointer-ness
+// is recovered from type information rather than per-value tags. We keep a
+// one-word header per object (the paper's runtime does too — allocation-site
+// identifiers are prepended to objects for profiling) carrying the object
+// kind, its length, and its allocation site. Records additionally carry a
+// pointer bitmap word, standing in for the type-directed layout information
+// TIL's compiler hands the collector.
+//
+// Layout in words:
+//
+//	record:    [header][ptrmask][field 0] ... [field n-1]
+//	ptr array: [header][elem 0] ... [elem n-1]
+//	raw array: [header][elem 0] ... [elem n-1]
+//
+// A forwarded object (mid-collection) has kind Forwarded and the forwarding
+// address in the header's payload bits.
+package obj
+
+import (
+	"fmt"
+
+	"tilgc/internal/mem"
+)
+
+// Kind classifies a heap object.
+type Kind uint8
+
+const (
+	// Record is a fixed-shape tuple whose pointer fields are named by a
+	// bitmap; TIL generates these for datatypes, tuples, and closures.
+	Record Kind = iota
+	// PtrArray is an array whose every element is a (possibly nil) pointer.
+	PtrArray
+	// RawArray is an array of untraced words: unboxed ints, floats, bytes.
+	RawArray
+	// Forwarded marks an object that has been evacuated; the header holds
+	// the forwarding address.
+	Forwarded
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Record:
+		return "record"
+	case PtrArray:
+		return "ptrarray"
+	case RawArray:
+		return "rawarray"
+	case Forwarded:
+		return "forwarded"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// SiteID identifies an allocation site. Site 0 means "unattributed".
+type SiteID uint16
+
+// MaxRecordFields is the largest record arity; pointer-ness of record
+// fields is a 64-bit bitmap, field i traced iff bit i is set.
+const MaxRecordFields = 64
+
+// MaxArrayLen bounds array lengths representable in the header.
+const MaxArrayLen = 1<<30 - 1
+
+// Header bit layout:
+//
+//	bits 0..1   kind
+//	bits 2..31  length (field or element count)
+//	bits 32..47 allocation site
+//
+// For Forwarded, bits 2..63 hold the forwarding address.
+const (
+	kindBits = 2
+	kindMask = 1<<kindBits - 1
+	lenBits  = 30
+	lenMask  = 1<<lenBits - 1
+	siteBits = 16
+	siteMask = 1<<siteBits - 1
+)
+
+// PackHeader builds a header word for a live object.
+func PackHeader(k Kind, length uint64, site SiteID) uint64 {
+	if k == Forwarded {
+		panic("obj: PackHeader of Forwarded; use PackForward")
+	}
+	if length > MaxArrayLen {
+		panic(fmt.Sprintf("obj: length %d exceeds max", length))
+	}
+	return uint64(k) | length<<kindBits | uint64(site)<<(kindBits+lenBits)
+}
+
+// PackForward builds a forwarding header pointing at dst.
+func PackForward(dst mem.Addr) uint64 {
+	return uint64(Forwarded) | uint64(dst)<<kindBits
+}
+
+// HeaderKind extracts the kind from a header word.
+func HeaderKind(h uint64) Kind { return Kind(h & kindMask) }
+
+// HeaderLen extracts the length from a live header word.
+func HeaderLen(h uint64) uint64 { return h >> kindBits & lenMask }
+
+// HeaderSite extracts the allocation site from a live header word.
+func HeaderSite(h uint64) SiteID { return SiteID(h >> (kindBits + lenBits) & siteMask) }
+
+// ForwardAddr extracts the forwarding address from a Forwarded header.
+func ForwardAddr(h uint64) mem.Addr { return mem.Addr(h >> kindBits) }
+
+// Aux bits: header bits 48..55 are application-defined (mutator-visible
+// object marks, e.g. the Knuth-Bendix workload's normal-form stamps).
+// They travel with the object when the collector copies it and are zero
+// on fresh objects.
+const (
+	auxShift = 48
+	auxMask  = uint64(0xff) << auxShift
+)
+
+// Age bits: header bits 56..63 belong to the collector (survival counts
+// for aging/tenuring policies). Like the aux byte they travel with the
+// object on copy and start at zero.
+const (
+	ageShift = 56
+	ageMask  = uint64(0xff) << ageShift
+)
+
+// Age reads the collector age byte of the live object at a.
+func Age(h *mem.Heap, a mem.Addr) uint8 {
+	return uint8(h.Load(a) >> ageShift)
+}
+
+// SetAge writes the collector age byte of the live object at a.
+func SetAge(h *mem.Heap, a mem.Addr, v uint8) {
+	hd := h.Load(a)
+	h.Store(a, hd&^ageMask|uint64(v)<<ageShift)
+}
+
+// Aux reads the aux byte of the live object at a.
+func Aux(h *mem.Heap, a mem.Addr) uint8 {
+	return uint8(h.Load(a) >> auxShift & 0xff)
+}
+
+// SetAux writes the aux byte of the live object at a.
+func SetAux(h *mem.Heap, a mem.Addr, v uint8) {
+	hd := h.Load(a)
+	h.Store(a, hd&^auxMask|uint64(v)<<auxShift)
+}
+
+// HeaderWords returns the number of metadata words preceding the payload.
+func HeaderWords(k Kind) uint64 {
+	if k == Record {
+		return 2 // header + pointer bitmap
+	}
+	return 1
+}
+
+// SizeWords returns the total footprint in words of an object with the
+// given kind and length.
+func SizeWords(k Kind, length uint64) uint64 {
+	return HeaderWords(k) + length
+}
+
+// Object is a decoded view of a heap object, used by collectors, the
+// profiler, and debugging tools. It does not alias arena storage.
+type Object struct {
+	Addr mem.Addr
+	Kind Kind
+	Len  uint64
+	Site SiteID
+	Mask uint64 // pointer bitmap; meaningful for records only
+}
+
+// Decode reads the object headers at a. Decoding a forwarded object returns
+// Kind == Forwarded with Addr holding the *forwarding target* in Mask-free
+// form; callers normally check IsForwarded first.
+func Decode(h *mem.Heap, a mem.Addr) Object {
+	hd := h.Load(a)
+	k := HeaderKind(hd)
+	o := Object{Addr: a, Kind: k}
+	if k == Forwarded {
+		return o
+	}
+	o.Len = HeaderLen(hd)
+	o.Site = HeaderSite(hd)
+	if k == Record {
+		o.Mask = h.Load(a.Add(1))
+	}
+	return o
+}
+
+// SizeWords returns the object's total footprint in words.
+func (o Object) SizeWords() uint64 { return SizeWords(o.Kind, o.Len) }
+
+// PayloadAddr returns the address of field/element i.
+func (o Object) PayloadAddr(i uint64) mem.Addr {
+	return o.Addr.Add(HeaderWords(o.Kind) + i)
+}
+
+// IsPtrField reports whether field/element i holds a traced pointer.
+func (o Object) IsPtrField(i uint64) bool {
+	switch o.Kind {
+	case Record:
+		return o.Mask>>i&1 == 1
+	case PtrArray:
+		return true
+	default:
+		return false
+	}
+}
+
+// Alloc reserves and initializes an object in space s, returning its
+// address, or false if the space lacks room. Fields start zeroed (nil).
+func Alloc(h *mem.Heap, s *mem.Space, k Kind, length uint64, site SiteID, mask uint64) (mem.Addr, bool) {
+	if k == Record && length > MaxRecordFields {
+		panic(fmt.Sprintf("obj: record arity %d exceeds max", length))
+	}
+	a, ok := s.Alloc(SizeWords(k, length))
+	if !ok {
+		return mem.Nil, false
+	}
+	h.Store(a, PackHeader(k, length, site))
+	if k == Record {
+		h.Store(a.Add(1), mask)
+	}
+	return a, true
+}
+
+// IsForwarded reports whether the object at a has been evacuated.
+func IsForwarded(h *mem.Heap, a mem.Addr) bool {
+	return HeaderKind(h.Load(a)) == Forwarded
+}
+
+// Forwarding returns the forwarding target of the object at a.
+func Forwarding(h *mem.Heap, a mem.Addr) mem.Addr {
+	return ForwardAddr(h.Load(a))
+}
+
+// SetForward overwrites the header at a with a forwarding pointer to dst.
+func SetForward(h *mem.Heap, a, dst mem.Addr) {
+	h.Store(a, PackForward(dst))
+}
+
+// FieldAddr returns the address of field/element i of the live object at
+// a, reading only the header word (the record pointer bitmap is not
+// needed to locate payload words).
+func FieldAddr(h *mem.Heap, a mem.Addr, i uint64) mem.Addr {
+	return a.Add(HeaderWords(HeaderKind(h.Load(a))) + i)
+}
+
+// Field loads field/element i of the object at a (which must be live).
+func Field(h *mem.Heap, a mem.Addr, i uint64) uint64 {
+	return h.Load(FieldAddr(h, a, i))
+}
+
+// SetField stores field/element i of the object at a (which must be live).
+// It performs no write barrier; the runtime layer is responsible for that.
+func SetField(h *mem.Heap, a mem.Addr, i uint64, v uint64) {
+	h.Store(FieldAddr(h, a, i), v)
+}

@@ -1,0 +1,272 @@
+package obj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tilgc/internal/mem"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		n    uint64
+		site SiteID
+	}{
+		{Record, 0, 0},
+		{Record, 64, 12345},
+		{PtrArray, 1000, 1},
+		{RawArray, MaxArrayLen, 65535},
+	}
+	for _, c := range cases {
+		h := PackHeader(c.k, c.n, c.site)
+		if HeaderKind(h) != c.k || HeaderLen(h) != c.n || HeaderSite(h) != c.site {
+			t.Errorf("round trip %v/%d/%d: got %v/%d/%d",
+				c.k, c.n, c.site, HeaderKind(h), HeaderLen(h), HeaderSite(h))
+		}
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(kindRaw uint8, n uint32, site uint16) bool {
+		k := Kind(kindRaw % 3)
+		length := uint64(n) & lenMask
+		h := PackHeader(k, length, SiteID(site))
+		return HeaderKind(h) == k && HeaderLen(h) == length && HeaderSite(h) == SiteID(site)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardHeader(t *testing.T) {
+	dst := mem.MakeAddr(5, 0x123456789)
+	h := PackForward(dst)
+	if HeaderKind(h) != Forwarded {
+		t.Fatal("forward header kind wrong")
+	}
+	if ForwardAddr(h) != dst {
+		t.Fatalf("forward addr = %v, want %v", ForwardAddr(h), dst)
+	}
+}
+
+func TestSizeWords(t *testing.T) {
+	if SizeWords(Record, 3) != 5 {
+		t.Errorf("record size = %d", SizeWords(Record, 3))
+	}
+	if SizeWords(PtrArray, 3) != 4 {
+		t.Errorf("ptrarray size = %d", SizeWords(PtrArray, 3))
+	}
+	if SizeWords(RawArray, 0) != 1 {
+		t.Errorf("empty rawarray size = %d", SizeWords(RawArray, 0))
+	}
+}
+
+func newTestHeap(capacity uint64) (*mem.Heap, *mem.Space) {
+	h := mem.NewHeap()
+	return h, h.AddSpace(capacity)
+}
+
+func TestAllocAndDecodeRecord(t *testing.T) {
+	h, s := newTestHeap(100)
+	a, ok := Alloc(h, s, Record, 4, 77, 0b1010)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	o := Decode(h, a)
+	if o.Kind != Record || o.Len != 4 || o.Site != 77 || o.Mask != 0b1010 {
+		t.Fatalf("decode: %+v", o)
+	}
+	if o.SizeWords() != 6 {
+		t.Errorf("size = %d", o.SizeWords())
+	}
+	if o.IsPtrField(0) || !o.IsPtrField(1) || o.IsPtrField(2) || !o.IsPtrField(3) {
+		t.Error("pointer bitmap misdecoded")
+	}
+}
+
+func TestAllocArrays(t *testing.T) {
+	h, s := newTestHeap(100)
+	pa, _ := Alloc(h, s, PtrArray, 3, 1, 0)
+	ra, _ := Alloc(h, s, RawArray, 3, 2, 0)
+	po := Decode(h, pa)
+	ro := Decode(h, ra)
+	for i := uint64(0); i < 3; i++ {
+		if !po.IsPtrField(i) {
+			t.Error("ptrarray element not a pointer")
+		}
+		if ro.IsPtrField(i) {
+			t.Error("rawarray element is a pointer")
+		}
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h, s := newTestHeap(5)
+	if _, ok := Alloc(h, s, RawArray, 4, 0, 0); !ok {
+		t.Fatal("first alloc should fit")
+	}
+	if _, ok := Alloc(h, s, RawArray, 4, 0, 0); ok {
+		t.Fatal("second alloc should fail")
+	}
+}
+
+func TestFieldAccess(t *testing.T) {
+	h, s := newTestHeap(100)
+	a, _ := Alloc(h, s, Record, 2, 0, 0b01)
+	SetField(h, a, 0, 0xbeef)
+	SetField(h, a, 1, 42)
+	if Field(h, a, 0) != 0xbeef || Field(h, a, 1) != 42 {
+		t.Error("field round trip failed")
+	}
+	// Fields start nil/zero.
+	b, _ := Alloc(h, s, PtrArray, 2, 0, 0)
+	if Field(h, b, 0) != 0 || Field(h, b, 1) != 0 {
+		t.Error("fields not zero-initialized")
+	}
+}
+
+func TestForwardingInPlace(t *testing.T) {
+	h, s := newTestHeap(100)
+	a, _ := Alloc(h, s, Record, 1, 9, 1)
+	SetField(h, a, 0, 7)
+	if IsForwarded(h, a) {
+		t.Fatal("fresh object forwarded")
+	}
+	dst := mem.MakeAddr(2, 17)
+	SetForward(h, a, dst)
+	if !IsForwarded(h, a) {
+		t.Fatal("SetForward did not take")
+	}
+	if Forwarding(h, a) != dst {
+		t.Fatalf("Forwarding = %v", Forwarding(h, a))
+	}
+}
+
+func TestPayloadAddr(t *testing.T) {
+	h, s := newTestHeap(100)
+	a, _ := Alloc(h, s, Record, 3, 0, 0)
+	o := Decode(h, a)
+	if o.PayloadAddr(0) != a.Add(2) {
+		t.Errorf("record payload 0 at %v", o.PayloadAddr(0))
+	}
+	b, _ := Alloc(h, s, RawArray, 3, 0, 0)
+	ob := Decode(h, b)
+	if ob.PayloadAddr(2) != b.Add(3) {
+		t.Errorf("rawarray payload 2 at %v", ob.PayloadAddr(2))
+	}
+}
+
+func TestObjectLayoutNoOverlapProperty(t *testing.T) {
+	// Allocating a sequence of random objects yields back-to-back,
+	// non-overlapping footprints whose decoded headers survive intact.
+	type spec struct {
+		Kind uint8
+		N    uint8
+		Site uint16
+		Mask uint64
+	}
+	f := func(specs []spec) bool {
+		h, s := newTestHeap(1 << 14)
+		var prev mem.Addr
+		var prevSize uint64
+		for _, sp := range specs {
+			k := Kind(sp.Kind % 3)
+			n := uint64(sp.N)
+			if k == Record {
+				n %= MaxRecordFields + 1
+			}
+			a, ok := Alloc(h, s, k, n, SiteID(sp.Site), sp.Mask)
+			if !ok {
+				return true
+			}
+			if prev != mem.Nil && a.Offset() != prev.Offset()+prevSize {
+				return false
+			}
+			o := Decode(h, a)
+			if o.Kind != k || o.Len != n || o.Site != SiteID(sp.Site) {
+				return false
+			}
+			if k == Record && o.Mask != sp.Mask {
+				return false
+			}
+			prev, prevSize = a, o.SizeWords()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Record: "record", PtrArray: "ptrarray", RawArray: "rawarray",
+		Forwarded: "forwarded",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestAuxAndAgeIndependent(t *testing.T) {
+	h, s := newTestHeap(20)
+	a, _ := Alloc(h, s, Record, 2, 321, 0b01)
+	if Aux(h, a) != 0 || Age(h, a) != 0 {
+		t.Fatal("fresh marks not zero")
+	}
+	SetAux(h, a, 0xAB)
+	SetAge(h, a, 0xCD)
+	if Aux(h, a) != 0xAB || Age(h, a) != 0xCD {
+		t.Fatalf("marks = %#x/%#x", Aux(h, a), Age(h, a))
+	}
+	// Marks must not disturb each other or the header proper.
+	SetAux(h, a, 0x11)
+	if Age(h, a) != 0xCD {
+		t.Fatal("SetAux clobbered age")
+	}
+	o := Decode(h, a)
+	if o.Kind != Record || o.Len != 2 || o.Site != 321 || o.Mask != 0b01 {
+		t.Fatalf("marks corrupted header: %+v", o)
+	}
+}
+
+func TestFieldAddr(t *testing.T) {
+	h, s := newTestHeap(20)
+	r, _ := Alloc(h, s, Record, 3, 1, 0)
+	if FieldAddr(h, r, 2) != r.Add(4) { // header + mask + 2
+		t.Fatalf("record FieldAddr = %v", FieldAddr(h, r, 2))
+	}
+	arr, _ := Alloc(h, s, RawArray, 3, 1, 0)
+	if FieldAddr(h, arr, 2) != arr.Add(3) { // header + 2
+		t.Fatalf("array FieldAddr = %v", FieldAddr(h, arr, 2))
+	}
+}
+
+func TestPackHeaderPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("PackHeader(Forwarded)", func() { PackHeader(Forwarded, 1, 0) })
+	assertPanics("PackHeader(too long)", func() { PackHeader(RawArray, MaxArrayLen+1, 0) })
+	h, s := newTestHeap(200)
+	assertPanics("Alloc(huge record)", func() {
+		Alloc(h, s, Record, MaxRecordFields+1, 0, 0)
+	})
+}
+
+func TestHeaderWords(t *testing.T) {
+	if HeaderWords(Record) != 2 || HeaderWords(PtrArray) != 1 || HeaderWords(RawArray) != 1 {
+		t.Fatal("header word counts wrong")
+	}
+}

@@ -1,0 +1,265 @@
+// Package prof implements the heap profiler of §6: it classifies objects
+// by allocation site and records, per site, the bytes and objects
+// allocated, the fraction surviving their first collection (old%), the
+// average age at death, and the bytes copied over all collections — the
+// data from which Figure 2's reports and the pretenuring policy are built.
+//
+// The paper's profiler works by prepending a site identifier to each
+// object and scanning the allocation area after each collection to find
+// dead objects; ours shadows every live object in per-space tables updated
+// on the collector's move/condemn callbacks, which observes exactly the
+// same events. Profiled runs are slower (the paper reports 50-200%
+// overhead; the shadow tables cost about that here too).
+package prof
+
+import (
+	"sort"
+
+	"tilgc/internal/core"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// objRec tracks one live object.
+type objRec struct {
+	site      obj.SiteID
+	sizeBytes uint64
+	birth     uint64 // allocation clock (total bytes allocated) at birth
+	survived  bool   // has survived at least one collection
+}
+
+// SiteStats aggregates one allocation site.
+type SiteStats struct {
+	Site          obj.SiteID
+	Name          string
+	AllocBytes    uint64
+	AllocCount    uint64
+	CopiedBytes   uint64
+	SurvivedFirst uint64 // objects that survived their first collection
+	Deaths        uint64
+	SumDeathAgeKB float64 // sum over deaths of (bytes allocated during lifetime)/1024
+}
+
+// OldPct returns the percentage of objects surviving their first
+// collection.
+func (s *SiteStats) OldPct() float64 {
+	if s.AllocCount == 0 {
+		return 0
+	}
+	return 100 * float64(s.SurvivedFirst) / float64(s.AllocCount)
+}
+
+// AvgAgeKB returns the average age at death in kilobytes of allocation.
+func (s *SiteStats) AvgAgeKB() float64 {
+	if s.Deaths == 0 {
+		return 0
+	}
+	return s.SumDeathAgeKB / float64(s.Deaths)
+}
+
+// CopyRatio returns copied size / allocated size for the site.
+func (s *SiteStats) CopyRatio() float64 {
+	if s.AllocBytes == 0 {
+		return 0
+	}
+	return float64(s.CopiedBytes) / float64(s.AllocBytes)
+}
+
+// Profiler implements core.Profiler.
+type Profiler struct {
+	sites     map[obj.SiteID]*SiteStats
+	siteNames map[obj.SiteID]string
+	live      map[mem.SpaceID]map[uint64]*objRec // space → offset → record
+	clock     uint64                             // total bytes allocated
+
+	// pendingMoves buffers OnMove destinations within one collection so
+	// that OnSpaceCondemned of the source space doesn't double-process.
+	moved []movedRec
+}
+
+type movedRec struct {
+	to  mem.Addr
+	rec *objRec
+}
+
+// New creates an empty profiler. siteNames is optional documentation for
+// report rendering (may be nil).
+func New(siteNames map[obj.SiteID]string) *Profiler {
+	return &Profiler{
+		sites:     make(map[obj.SiteID]*SiteStats),
+		siteNames: siteNames,
+		live:      make(map[mem.SpaceID]map[uint64]*objRec),
+	}
+}
+
+func (p *Profiler) site(id obj.SiteID) *SiteStats {
+	s, ok := p.sites[id]
+	if !ok {
+		s = &SiteStats{Site: id, Name: p.siteNames[id]}
+		p.sites[id] = s
+	}
+	return s
+}
+
+func (p *Profiler) spaceTable(id mem.SpaceID) map[uint64]*objRec {
+	t, ok := p.live[id]
+	if !ok {
+		t = make(map[uint64]*objRec)
+		p.live[id] = t
+	}
+	return t
+}
+
+// OnAlloc implements core.Profiler.
+func (p *Profiler) OnAlloc(addr mem.Addr, site obj.SiteID, k obj.Kind, words uint64) {
+	bytes := words * mem.WordSize
+	s := p.site(site)
+	s.AllocBytes += bytes
+	s.AllocCount++
+	p.clock += bytes
+	p.spaceTable(addr.Space())[addr.Offset()] = &objRec{
+		site: site, sizeBytes: bytes, birth: p.clock,
+	}
+}
+
+// OnMove implements core.Profiler: the object moved (promotion or tenured
+// copy); it survived and its bytes were copied.
+func (p *Profiler) OnMove(from, to mem.Addr) {
+	t := p.spaceTable(from.Space())
+	rec, ok := t[from.Offset()]
+	if !ok {
+		return // object predates profiling
+	}
+	delete(t, from.Offset())
+	s := p.site(rec.site)
+	s.CopiedBytes += rec.sizeBytes
+	if !rec.survived {
+		rec.survived = true
+		s.SurvivedFirst++
+	}
+	p.moved = append(p.moved, movedRec{to: to, rec: rec})
+}
+
+// OnSpaceCondemned implements core.Profiler: records still tabled in the
+// space did not move out — they are dead.
+func (p *Profiler) OnSpaceCondemned(id mem.SpaceID) {
+	t, ok := p.live[id]
+	if !ok {
+		return
+	}
+	for _, rec := range t {
+		p.recordDeath(rec)
+	}
+	delete(p.live, id)
+}
+
+// OnLOSDead implements core.Profiler.
+func (p *Profiler) OnLOSDead(addr mem.Addr) {
+	t := p.spaceTable(addr.Space())
+	rec, ok := t[addr.Offset()]
+	if !ok {
+		return
+	}
+	delete(t, addr.Offset())
+	p.recordDeath(rec)
+}
+
+// OnGCEnd implements core.Profiler: re-home objects moved this cycle.
+// Large objects that survived a sweep count as survivors of their first
+// collection too.
+func (p *Profiler) OnGCEnd() {
+	for _, m := range p.moved {
+		p.spaceTable(m.to.Space())[m.to.Offset()] = m.rec
+	}
+	p.moved = p.moved[:0]
+}
+
+func (p *Profiler) recordDeath(rec *objRec) {
+	s := p.site(rec.site)
+	s.Deaths++
+	s.SumDeathAgeKB += float64(p.clock-rec.birth) / 1024
+}
+
+// Finalize treats every object still live as dying at the end of the run,
+// charging its age, as the paper's end-of-run profile accounting does.
+// Call once, after the workload completes.
+func (p *Profiler) Finalize() {
+	for _, t := range p.live {
+		for _, rec := range t {
+			p.recordDeath(rec)
+		}
+	}
+	p.live = make(map[mem.SpaceID]map[uint64]*objRec)
+}
+
+// Clock returns total bytes allocated so far.
+func (p *Profiler) Clock() uint64 { return p.clock }
+
+// TotalCopied returns the bytes copied across all sites.
+func (p *Profiler) TotalCopied() uint64 {
+	var n uint64
+	for _, s := range p.sites {
+		n += s.CopiedBytes
+	}
+	return n
+}
+
+// TotalAllocated returns the bytes allocated across all sites.
+func (p *Profiler) TotalAllocated() uint64 {
+	var n uint64
+	for _, s := range p.sites {
+		n += s.AllocBytes
+	}
+	return n
+}
+
+// Sites returns per-site statistics sorted by descending allocation.
+func (p *Profiler) Sites() []*SiteStats {
+	out := make([]*SiteStats, 0, len(p.sites))
+	for _, s := range p.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AllocBytes != out[j].AllocBytes {
+			return out[i].AllocBytes > out[j].AllocBytes
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// Policy derives a pretenuring policy from the profile using the paper's
+// rule: pretenure every site whose old% is at least cutoffPct (the paper
+// uses 80). Sites with fewer than minObjects allocations are ignored as
+// noise.
+func (p *Profiler) Policy(cutoffPct float64, minObjects uint64) *core.PretenurePolicy {
+	sites := make(map[obj.SiteID]core.PretenureDecision)
+	for id, s := range p.sites {
+		if s.AllocCount >= minObjects && s.OldPct() >= cutoffPct {
+			sites[id] = core.PretenureDecision{}
+		}
+	}
+	return core.NewPretenurePolicy(sites)
+}
+
+// CutoffSummary reports, for a given old% cutoff, the share of all copied
+// bytes and of all allocated bytes contributed by the targeted sites —
+// the two numbers printed at the foot of Figure 2's reports.
+func (p *Profiler) CutoffSummary(cutoffPct float64) (copiedPct, allocPct float64) {
+	var copied, alloc, tc, ta uint64
+	for _, s := range p.sites {
+		tc += s.CopiedBytes
+		ta += s.AllocBytes
+		if s.OldPct() >= cutoffPct {
+			copied += s.CopiedBytes
+			alloc += s.AllocBytes
+		}
+	}
+	if tc > 0 {
+		copiedPct = 100 * float64(copied) / float64(tc)
+	}
+	if ta > 0 {
+		allocPct = 100 * float64(alloc) / float64(ta)
+	}
+	return copiedPct, allocPct
+}

@@ -1,0 +1,260 @@
+package prof
+
+import (
+	"strings"
+	"testing"
+
+	"tilgc/internal/core"
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+func TestSiteStatsMath(t *testing.T) {
+	s := SiteStats{AllocBytes: 1000, AllocCount: 10, CopiedBytes: 500,
+		SurvivedFirst: 4, Deaths: 5, SumDeathAgeKB: 50}
+	if s.OldPct() != 40 {
+		t.Errorf("OldPct = %g", s.OldPct())
+	}
+	if s.AvgAgeKB() != 10 {
+		t.Errorf("AvgAgeKB = %g", s.AvgAgeKB())
+	}
+	if s.CopyRatio() != 0.5 {
+		t.Errorf("CopyRatio = %g", s.CopyRatio())
+	}
+	var zero SiteStats
+	if zero.OldPct() != 0 || zero.AvgAgeKB() != 0 || zero.CopyRatio() != 0 {
+		t.Error("zero-stats accessors must return 0")
+	}
+}
+
+func TestProfilerAllocMoveDeath(t *testing.T) {
+	p := New(nil)
+	a := mem.MakeAddr(1, 10)
+	b := mem.MakeAddr(1, 20)
+	p.OnAlloc(a, 5, obj.Record, 4)  // 32 bytes
+	p.OnAlloc(b, 5, obj.Record, 2)  // 16 bytes
+	p.OnMove(a, mem.MakeAddr(2, 1)) // a survives, copied
+	p.OnSpaceCondemned(1)           // b dies
+	p.OnGCEnd()
+
+	s := p.sites[5]
+	if s.AllocBytes != 48 || s.AllocCount != 2 {
+		t.Fatalf("alloc stats: %+v", s)
+	}
+	if s.CopiedBytes != 32 || s.SurvivedFirst != 1 {
+		t.Fatalf("copy stats: %+v", s)
+	}
+	if s.Deaths != 1 {
+		t.Fatalf("death stats: %+v", s)
+	}
+	if s.OldPct() != 50 {
+		t.Fatalf("OldPct = %g", s.OldPct())
+	}
+
+	// Second move of the same object: more copying, but SurvivedFirst
+	// stays (first survival already counted).
+	p.OnMove(mem.MakeAddr(2, 1), mem.MakeAddr(3, 1))
+	p.OnGCEnd()
+	if s.CopiedBytes != 64 || s.SurvivedFirst != 1 {
+		t.Fatalf("second copy stats: %+v", s)
+	}
+}
+
+func TestProfilerAgeAccounting(t *testing.T) {
+	p := New(nil)
+	a := mem.MakeAddr(1, 1)
+	p.OnAlloc(a, 1, obj.Record, 128) // 1KB; clock now 1KB
+	// 9KB more allocation from another site.
+	p.OnAlloc(mem.MakeAddr(1, 200), 2, obj.RawArray, 128*9)
+	p.OnSpaceCondemned(1) // both die; a's age = 9KB, other's age = 0
+	s := p.sites[1]
+	if s.Deaths != 1 || s.AvgAgeKB() != 9 {
+		t.Fatalf("age: deaths=%d avg=%g", s.Deaths, s.AvgAgeKB())
+	}
+	if p.sites[2].AvgAgeKB() != 0 {
+		t.Fatalf("fresh object age = %g", p.sites[2].AvgAgeKB())
+	}
+}
+
+func TestProfilerFinalize(t *testing.T) {
+	p := New(nil)
+	p.OnAlloc(mem.MakeAddr(1, 1), 1, obj.Record, 10)
+	p.Finalize()
+	if p.sites[1].Deaths != 1 {
+		t.Fatal("finalize did not record survivor death")
+	}
+	// Idempotent.
+	p.Finalize()
+	if p.sites[1].Deaths != 1 {
+		t.Fatal("finalize double-counted")
+	}
+}
+
+func TestPolicyCutoff(t *testing.T) {
+	p := New(nil)
+	// Site 1: 10 objects, all survive. Site 2: 10 objects, none survive.
+	// Site 3: only 2 objects (below min), all survive.
+	for i := 0; i < 10; i++ {
+		a := mem.MakeAddr(1, uint64(1+i*10))
+		p.OnAlloc(a, 1, obj.Record, 2)
+		p.OnMove(a, mem.MakeAddr(2, uint64(1+i*10)))
+		p.OnGCEnd()
+	}
+	for i := 0; i < 10; i++ {
+		p.OnAlloc(mem.MakeAddr(3, uint64(1+i*10)), 2, obj.Record, 2)
+	}
+	p.OnSpaceCondemned(3)
+	for i := 0; i < 2; i++ {
+		a := mem.MakeAddr(4, uint64(1+i*10))
+		p.OnAlloc(a, 3, obj.Record, 2)
+		p.OnMove(a, mem.MakeAddr(5, uint64(1+i*10)))
+		p.OnGCEnd()
+	}
+	pol := p.Policy(80, 5)
+	if _, ok := pol.Lookup(1); !ok {
+		t.Error("high-survival site not pretenured")
+	}
+	if _, ok := pol.Lookup(2); ok {
+		t.Error("zero-survival site pretenured")
+	}
+	if _, ok := pol.Lookup(3); ok {
+		t.Error("low-count site pretenured despite minObjects")
+	}
+	if pol.Len() != 1 {
+		t.Errorf("policy has %d sites", pol.Len())
+	}
+}
+
+func TestCutoffSummary(t *testing.T) {
+	p := New(nil)
+	p.sites[1] = &SiteStats{Site: 1, AllocBytes: 100, AllocCount: 10,
+		SurvivedFirst: 10, CopiedBytes: 900}
+	p.sites[2] = &SiteStats{Site: 2, AllocBytes: 900, AllocCount: 90,
+		SurvivedFirst: 0, CopiedBytes: 100}
+	copied, alloc := p.CutoffSummary(80)
+	if copied != 90 || alloc != 10 {
+		t.Fatalf("summary = %g%% copied, %g%% allocated", copied, alloc)
+	}
+}
+
+func TestWriteReportFormat(t *testing.T) {
+	p := New(map[obj.SiteID]string{7: "cons"})
+	for i := 0; i < 100; i++ {
+		a := mem.MakeAddr(1, uint64(1+i*4))
+		p.OnAlloc(a, 7, obj.Record, 4)
+		p.OnMove(a, mem.MakeAddr(2, uint64(1+i*4)))
+		p.OnGCEnd()
+	}
+	var sb strings.Builder
+	p.WriteReport(&sb, DefaultReportOptions("TestBench"))
+	out := sb.String()
+	for _, want := range []string{
+		"TestBench", "heap profile end", "cutoff of 80%",
+		"targeted sites comprise", "<--",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfilerDrivesPretenuringEndToEnd runs a real collector with the
+// profiler attached, derives a policy, and re-runs with pretenuring: the
+// long-lived site must be selected and copying must drop.
+func TestProfilerDrivesPretenuringEndToEnd(t *testing.T) {
+	const liveSite, dieSite = 11, 12
+	run := func(prof core.Profiler, pol *core.PretenurePolicy) (*core.Generational, *Profiler) {
+		table := rt.NewTraceTable()
+		meter := costmodel.NewMeter()
+		stack := rt.NewStack(table, meter)
+		slots := []rt.SlotTrace{rt.NP(), rt.PTR()}
+		fi := table.Register("root", slots, nil)
+		stack.Call(fi)
+		c := core.NewGenerational(stack, meter, prof, core.GenConfig{
+			BudgetWords: 1 << 20, NurseryWords: 512, Pretenure: pol,
+		})
+		// Long-lived list from liveSite, garbage from dieSite.
+		stack.SetSlot(1, uint64(mem.Nil))
+		for i := 0; i < 3000; i++ {
+			cell := c.Alloc(obj.Record, 2, liveSite, 0b10)
+			c.InitField(cell, 1, stack.Slot(1))
+			stack.SetSlot(1, uint64(cell))
+			c.Alloc(obj.Record, 2, dieSite, 0)
+			c.Alloc(obj.Record, 2, dieSite, 0)
+		}
+		c.Collect(false)
+		pp, _ := prof.(*Profiler)
+		return c, pp
+	}
+
+	profiler := New(nil)
+	_, pp := run(profiler, nil)
+	pp.Finalize()
+	if pp.sites[liveSite].OldPct() < 80 {
+		t.Fatalf("live site old%% = %g", pp.sites[liveSite].OldPct())
+	}
+	if pp.sites[dieSite].OldPct() > 20 {
+		t.Fatalf("dying site old%% = %g", pp.sites[dieSite].OldPct())
+	}
+	pol := pp.Policy(80, 10)
+	if _, ok := pol.Lookup(liveSite); !ok {
+		t.Fatal("policy missed the long-lived site")
+	}
+
+	base, _ := run(nil, nil)
+	pre, _ := run(nil, pol)
+	if pre.Stats().BytesCopied*2 > base.Stats().BytesCopied {
+		t.Fatalf("profile-driven pretenuring did not cut copying: %d vs %d",
+			pre.Stats().BytesCopied, base.Stats().BytesCopied)
+	}
+}
+
+func TestOnLOSDeadAndClock(t *testing.T) {
+	p := New(nil)
+	a := mem.MakeAddr(9, 1)
+	p.OnAlloc(a, 4, obj.RawArray, 100)
+	if p.Clock() != 800 {
+		t.Fatalf("Clock = %d", p.Clock())
+	}
+	p.OnLOSDead(a)
+	if p.sites[4].Deaths != 1 {
+		t.Fatal("LOS death not recorded")
+	}
+	// Unknown address: no-op.
+	p.OnLOSDead(mem.MakeAddr(9, 500))
+	if p.sites[4].Deaths != 1 {
+		t.Fatal("phantom death recorded")
+	}
+	// Condemning a space with no table is a no-op.
+	p.OnSpaceCondemned(77)
+}
+
+func TestSitesSortedByAllocation(t *testing.T) {
+	p := New(nil)
+	p.OnAlloc(mem.MakeAddr(1, 1), 5, obj.Record, 10)
+	p.OnAlloc(mem.MakeAddr(1, 50), 6, obj.Record, 100)
+	p.OnAlloc(mem.MakeAddr(1, 200), 7, obj.Record, 100)
+	sites := p.Sites()
+	if len(sites) != 3 {
+		t.Fatalf("Sites len = %d", len(sites))
+	}
+	if sites[0].AllocBytes < sites[1].AllocBytes {
+		t.Fatal("not sorted by allocation")
+	}
+	// Equal allocations tie-break by site id.
+	if sites[0].Site != 6 || sites[1].Site != 7 {
+		t.Fatalf("tie break wrong: %d, %d", sites[0].Site, sites[1].Site)
+	}
+}
+
+func TestMoveOfUntrackedObject(t *testing.T) {
+	p := New(nil)
+	// Moving an object the profiler never saw must be ignored.
+	p.OnMove(mem.MakeAddr(1, 7), mem.MakeAddr(2, 7))
+	p.OnGCEnd()
+	if len(p.sites) != 0 {
+		t.Fatal("phantom site created")
+	}
+}

@@ -1,0 +1,73 @@
+package prof
+
+import (
+	"fmt"
+	"io"
+)
+
+// ReportOptions controls Figure 2 report rendering.
+type ReportOptions struct {
+	// MinAllocPct and MinCopyPct filter the table to sites contributing
+	// at least this share of allocation or of copying — the paper shows
+	// "only entries with alloc % > 1.00 or with copy % > 1.00".
+	MinAllocPct float64
+	MinCopyPct  float64
+	// CutoffPct is the old% pretenuring cutoff summarized at the foot of
+	// the report (the paper uses 80%).
+	CutoffPct float64
+	// Title heads the report (the benchmark name).
+	Title string
+}
+
+// DefaultReportOptions mirrors the paper's Figure 2 settings.
+func DefaultReportOptions(title string) ReportOptions {
+	return ReportOptions{MinAllocPct: 1.0, MinCopyPct: 1.0, CutoffPct: 80, Title: title}
+}
+
+// WriteReport renders the heap profile in the format of the paper's
+// Figure 2: one row per significant allocation site with alloc%, alloc
+// size/count, old%, average age, copied size/%, and copied/alloc ratio,
+// plus the cutoff summary.
+func (p *Profiler) WriteReport(w io.Writer, opts ReportOptions) {
+	totalAlloc := p.TotalAllocated()
+	totalCopied := p.TotalCopied()
+	pct := func(part, whole uint64) float64 {
+		if whole == 0 {
+			return 0
+		}
+		return 100 * float64(part) / float64(whole)
+	}
+
+	fmt.Fprintf(w, "======================== %s ========================\n", opts.Title)
+	fmt.Fprintf(w, "%6s %7s %12s %10s %7s %8s %10s %7s %12s\n",
+		"site", "alloc", "alloc", "alloc", "", "avg", "copied", "copied", "copied size/")
+	fmt.Fprintf(w, "%6s %7s %12s %10s %7s %8s %10s %7s %12s\n",
+		"", "%", "size", "count", "% old", "age", "size", "%", "alloc size")
+	fmt.Fprintln(w, "------------------------------------------------------------------------------------------")
+
+	sites := p.Sites()
+	shown := 0
+	for _, s := range sites {
+		allocPct := pct(s.AllocBytes, totalAlloc)
+		copyPct := pct(s.CopiedBytes, totalCopied)
+		if allocPct <= opts.MinAllocPct && copyPct <= opts.MinCopyPct {
+			continue
+		}
+		shown++
+		marker := ""
+		if s.OldPct() >= opts.CutoffPct {
+			marker = " <--"
+		}
+		fmt.Fprintf(w, "%6d %6.2f%% %12d %10d %7.2f %8.1f %10d %6.2f %11.2f%s\n",
+			s.Site, allocPct, s.AllocBytes, s.AllocCount, s.OldPct(),
+			s.AvgAgeKB(), s.CopiedBytes, copyPct, s.CopyRatio(), marker)
+	}
+	fmt.Fprintln(w, "--------------- heap profile end : short ---------------")
+	fmt.Fprintf(w, "Showing only entries with alloc %% > %.2f\n", opts.MinAllocPct)
+	fmt.Fprintf(w, "                  or with copy %% > %.2f\n", opts.MinCopyPct)
+	fmt.Fprintf(w, "%d of %d entries displayed.\n", shown, len(sites))
+	copiedPct, allocPct := p.CutoffSummary(opts.CutoffPct)
+	fmt.Fprintf(w, "Using a (%% old) cutoff of %.0f%%,\n", opts.CutoffPct)
+	fmt.Fprintf(w, "targeted sites comprise %.2f%% copied and %.2f%% allocated.\n",
+		copiedPct, allocPct)
+}

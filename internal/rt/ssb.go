@@ -1,0 +1,101 @@
+package rt
+
+import (
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+)
+
+// SSB is the sequential store buffer write barrier (Appel 1989): the
+// mutator appends the address of every updated heap pointer field, and the
+// collector drains the buffer at each collection to find old-to-young
+// references. Duplicate entries are recorded — a site mutated repeatedly
+// appears repeatedly, which is exactly the overhead that makes the Peg
+// benchmark's root processing expensive (§4) and motivates the
+// card-marking alternative.
+type SSB struct {
+	meter   *costmodel.Meter
+	entries []mem.Addr
+	total   uint64 // lifetime count, for Table 2's "Number of Pointer Updates"
+}
+
+// NewSSB creates an empty store buffer charging barrier costs to meter.
+func NewSSB(meter *costmodel.Meter) *SSB {
+	return &SSB{meter: meter}
+}
+
+// Record logs a pointer update to the heap field at addr. Called by the
+// mutator on every pointer store; charges the write-barrier cost.
+func (b *SSB) Record(addr mem.Addr) {
+	b.entries = append(b.entries, addr)
+	b.total++
+	b.meter.Charge(costmodel.Client, costmodel.WriteBarrier)
+}
+
+// Entries returns the buffered field addresses since the last Drain.
+// The collector owns cost accounting for processing them.
+func (b *SSB) Entries() []mem.Addr { return b.entries }
+
+// Drain empties the buffer (after the collector has processed it).
+func (b *SSB) Drain() {
+	b.entries = b.entries[:0]
+}
+
+// Len returns the number of buffered entries.
+func (b *SSB) Len() int { return len(b.entries) }
+
+// TotalRecorded returns the lifetime number of recorded pointer updates.
+func (b *SSB) TotalRecorded() uint64 { return b.total }
+
+// CardTable is the card-marking write barrier the paper points to
+// (Sobalvarro 1988) as the fix for Peg's SSB blow-up: the heap is divided
+// into fixed-size cards and a pointer store dirties its card bit instead of
+// appending an entry, so repeated mutation of the same object costs one
+// dirty card rather than millions of buffer entries. Implemented here as
+// the §4 ablation (see the gcbench "-table barrier" experiment).
+type CardTable struct {
+	meter     *costmodel.Meter
+	cardShift uint // log2 words per card
+	dirty     map[uint64]struct{}
+	total     uint64
+}
+
+// NewCardTable creates a card table with 2^cardShift words per card.
+func NewCardTable(meter *costmodel.Meter, cardShift uint) *CardTable {
+	return &CardTable{meter: meter, cardShift: cardShift, dirty: make(map[uint64]struct{})}
+}
+
+// Record dirties the card containing addr.
+func (c *CardTable) Record(addr mem.Addr) {
+	c.dirty[uint64(addr)>>c.cardShift] = struct{}{}
+	c.total++
+	c.meter.Charge(costmodel.Client, costmodel.WriteBarrier)
+}
+
+// DirtyCards returns the number of dirty cards.
+func (c *CardTable) DirtyCards() int { return len(c.dirty) }
+
+// CardWords returns the number of words covered by one card.
+func (c *CardTable) CardWords() uint64 { return 1 << c.cardShift }
+
+// CardBounds returns the first word address and word count of card id
+// within its space.
+func (c *CardTable) CardBounds(id uint64) (mem.Addr, uint64) {
+	return mem.Addr(id << c.cardShift), 1 << c.cardShift
+}
+
+// Cards returns the dirty card ids (unordered).
+func (c *CardTable) Cards() []uint64 {
+	ids := make([]uint64, 0, len(c.dirty))
+	for id := range c.dirty {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Drain clears all dirty cards.
+func (c *CardTable) Drain() {
+	clear(c.dirty)
+}
+
+// TotalRecorded returns the lifetime number of recorded pointer updates.
+func (c *CardTable) TotalRecorded() uint64 { return c.total }

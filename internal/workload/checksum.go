@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// Checksum is the Foxnet checksum fragment (Biagioni et al. 1994): 16KB
+// buffers are created and checksummed using iterators, 10,000 times.
+// Allocation is dominated by the small iterator records the functional
+// iteration style creates per chunk; the live set is a single buffer; the
+// stack stays four frames deep. Under a generational collector its GC
+// cost is almost entirely per-collection overhead (§4).
+type checksumBench struct{}
+
+// Checksum's allocation sites.
+const (
+	csSiteBuffer obj.SiteID = 100 + iota
+	csSiteIter
+)
+
+func init() { register(checksumBench{}) }
+
+func (checksumBench) Name() string { return "Checksum" }
+
+func (checksumBench) Description() string {
+	return "Checksum fragment from the Foxnet; 16KB buffers are created and " +
+		"checksummed using iterators 10,000 times"
+}
+
+func (checksumBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		csSiteBuffer: "checksum buffer",
+		csSiteIter:   "iterator state record",
+	}
+}
+
+func (checksumBench) OnlyOldSites() []obj.SiteID { return nil }
+
+const (
+	csBufferWords = 2048 // 16KB
+	csChunkWords  = 4    // iterator step: one 32-byte chunk
+)
+
+func (checksumBench) Run(m *Mutator, scale Scale) Result {
+	// Frames: main(buf, sum) → checksum(buf, acc, iter) → step(iter, acc).
+	main := m.Frame("cs_main", rt.PTR(), rt.NP())
+	sum := m.Frame("cs_checksum", rt.PTR(), rt.NP(), rt.PTR())
+	step := m.Frame("cs_step", rt.PTR(), rt.NP())
+
+	var check uint64
+	m.Call(main, func() {
+		iters := scale.Reps(10000)
+		for it := 0; it < iters; it++ {
+			// A fresh "possibly unaligned" buffer each time.
+			m.AllocRawArray(csSiteBuffer, csBufferWords, 1)
+			for j := uint64(0); j < csBufferWords; j++ {
+				m.StoreIntField(1, j, uint64(it)*2654435761+j*2246822519)
+			}
+			m.CallArgs(sum, []int{1}, func() {
+				m.SetSlot(2, 0)
+				// Functional iteration: an iterator record per chunk.
+				for off := uint64(0); off < csBufferWords; off += csChunkWords {
+					m.AllocRecord(csSiteIter, 2, 0b01, 3)
+					m.InitPtrField(3, 0, 1)
+					m.InitIntField(3, 1, off)
+					m.CallArgs(step, []int{3}, func() {
+						// One iterator step: fold the chunk into the sum.
+						pos := m.LoadFieldInt(1, 1)
+						m.Head(1, 1) // the buffer
+						var s uint64
+						for k := uint64(0); k < csChunkWords; k++ {
+							s += m.LoadFieldInt(1, pos+k)
+							m.Work(2)
+						}
+						m.RetInt(s)
+					})
+					s := m.TakeRetInt()
+					m.SetSlot(2, (m.Slot(2)+s)&0xffffffff+((m.Slot(2)+s)>>32))
+				}
+				m.RetInt(m.Slot(2))
+			})
+			check ^= m.TakeRetInt() + uint64(it)
+		}
+	})
+	return Result{Check: check}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// Color is brute-force graph colouring: a backtracking search assigning
+// one of three colours per vertex, one activation record per vertex. The
+// constraint graph is a long path with extra chords, so the search runs
+// at essentially full depth the whole time (Table 2: max 482 frames,
+// average 469.7) while only the last few frames churn — the deep,
+// slowly-unwinding stack that generational stack collection targets.
+type colorBench struct{}
+
+// Color's allocation sites.
+const (
+	colorSiteAssign obj.SiteID = 200 + iota // assignment trail cells (die young)
+	colorSiteGraph                          // adjacency records (live for a run)
+)
+
+func init() { register(colorBench{}) }
+
+func (colorBench) Name() string { return "Color" }
+
+func (colorBench) Description() string {
+	return "Brute-force graph coloring"
+}
+
+func (colorBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		colorSiteAssign: "assignment trail cons",
+		colorSiteGraph:  "adjacency record",
+	}
+}
+
+func (colorBench) OnlyOldSites() []obj.SiteID { return nil }
+
+const (
+	colorVerts  = 478 // path length: one frame per vertex
+	colorColors = 3
+)
+
+// colorChord returns the extra earlier neighbour of vertex v (besides
+// v-1), or -1. Deterministic pseudo-random chords make the colouring
+// non-trivial without collapsing the search.
+func colorChord(v int) int {
+	if v < 5 || v%7 != 0 {
+		return -1
+	}
+	return v - 2 - (v*2654435761>>8)%3
+}
+
+func (colorBench) Run(m *Mutator, scale Scale) Result {
+	// main(assign) → color(assign, newcell) per vertex.
+	main := m.PtrFrame("color_main", 2)
+	color := m.Frame("color_vertex", rt.PTR(), rt.PTR(), rt.NP())
+
+	var check uint64
+	runs := scale.Reps(120)
+	for r := 0; r < runs; r++ {
+		solutions := uint64(0)
+		budget := 25000 // cap solutions per run: bounds the leaf churn
+		m.Call(main, func() {
+			// The assignment list holds (vertex colour) cells, newest
+			// first; vertex of a cell = list position from the head.
+			m.SetSlotNil(1)
+			var visit func(v int)
+			visit = func(v int) {
+				if solutions >= uint64(budget) {
+					return
+				}
+				if v == colorVerts {
+					solutions++
+					// Fold the two newest assignments into the check.
+					s := m.HeadInt(1)
+					m.Tail(1, 2)
+					check = check*31 + s*3 + m.HeadInt(2)
+					return
+				}
+				for c := 0; c < colorColors; c++ {
+					// Conflicts: previous vertex and the chord.
+					prev := -1
+					if v > 0 {
+						prev = int(m.HeadInt(1))
+					}
+					if v > 0 && prev == c {
+						m.Work(1)
+						continue
+					}
+					if ch := colorChord(v); ch >= 0 {
+						// Walk back to the chord's cell: position v-1-ch.
+						m.SetSlot(2, m.Slot(1))
+						for i := 0; i < v-1-ch; i++ {
+							m.Tail(2, 2)
+						}
+						m.Work(uint64(v - ch))
+						if int(m.HeadInt(2)) == c {
+							continue
+						}
+					}
+					m.ConsInt(colorSiteAssign, uint64(c), 1, 2)
+					m.CallArgs(color, []int{2}, func() { visit(v + 1) })
+					if solutions >= uint64(budget) {
+						return
+					}
+				}
+			}
+			visit(0)
+		})
+		check = check*1000003 + solutions
+	}
+	return Result{Check: check}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math"
+
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// FFT multiplies polynomials via the fast Fourier transform. Its heap
+// behaviour is the inverse of the list benchmarks: nearly everything is
+// large unboxed floating-point arrays (which TIL keeps unboxed and our
+// runtime places in the mark-sweep large-object space), records are
+// negligible, and the stack never exceeds a handful of frames. GC is a
+// vanishing fraction of run time (§4: 0.2%).
+type fftBench struct{}
+
+// FFT's allocation sites.
+const (
+	fftSiteCoeff obj.SiteID = 300 + iota // coefficient arrays
+	fftSiteWork                          // transform work arrays
+	fftSiteBox                           // result summary record
+)
+
+func init() { register(fftBench{}) }
+
+func (fftBench) Name() string { return "FFT" }
+
+func (fftBench) Description() string {
+	return "Fast Fourier transform, multiplying polynomials up to degree 65,536"
+}
+
+func (fftBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		fftSiteCoeff: "polynomial coefficient array",
+		fftSiteWork:  "FFT work array (re/im)",
+		fftSiteBox:   "result summary",
+	}
+}
+
+func (fftBench) OnlyOldSites() []obj.SiteID { return nil }
+
+// fft runs an in-place iterative Cooley-Tukey transform over the float64
+// bit patterns stored in the re/im arrays held in slots reSlot and imSlot.
+func fftTransform(m *Mutator, reSlot, imSlot int, n uint64, invert bool) {
+	getF := func(slot int, i uint64) float64 {
+		return math.Float64frombits(m.LoadFieldInt(slot, i))
+	}
+	setF := func(slot int, i uint64, v float64) {
+		m.StoreIntField(slot, i, math.Float64bits(v))
+	}
+	// Bit reversal permutation.
+	for i, j := uint64(1), uint64(0); i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			ri, rj := getF(reSlot, i), getF(reSlot, j)
+			setF(reSlot, i, rj)
+			setF(reSlot, j, ri)
+			ii, ij := getF(imSlot, i), getF(imSlot, j)
+			setF(imSlot, i, ij)
+			setF(imSlot, j, ii)
+		}
+		m.Work(2)
+	}
+	for length := uint64(2); length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if invert {
+			ang = -ang
+		}
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for i := uint64(0); i < n; i += length {
+			cwr, cwi := 1.0, 0.0
+			for j := uint64(0); j < length/2; j++ {
+				ur, ui := getF(reSlot, i+j), getF(imSlot, i+j)
+				vr := getF(reSlot, i+j+length/2)*cwr - getF(imSlot, i+j+length/2)*cwi
+				vi := getF(reSlot, i+j+length/2)*cwi + getF(imSlot, i+j+length/2)*cwr
+				setF(reSlot, i+j, ur+vr)
+				setF(imSlot, i+j, ui+vi)
+				setF(reSlot, i+j+length/2, ur-vr)
+				setF(imSlot, i+j+length/2, ui-vi)
+				cwr, cwi = cwr*wr-cwi*wi, cwr*wi+cwi*wr
+				m.Work(10)
+			}
+		}
+	}
+	if invert {
+		for i := uint64(0); i < n; i++ {
+			setF(reSlot, i, getF(reSlot, i)/float64(n))
+			setF(imSlot, i, getF(imSlot, i)/float64(n))
+		}
+	}
+}
+
+func (fftBench) Run(m *Mutator, scale Scale) Result {
+	// main(a, b, scratch) → multiply(a, b, re1, im1, re2, im2).
+	main := m.PtrFrame("fft_main", 3)
+	mult := m.Frame("fft_multiply",
+		rt.PTR(), rt.PTR(), rt.PTR(), rt.PTR(), rt.PTR(), rt.PTR())
+
+	var check uint64
+	m.Call(main, func() {
+		rounds := scale.Reps(200)
+		for round := 0; round < rounds; round++ {
+			// Polynomial degree doubles across the paper's sweep; we
+			// cycle sizes 512..4096 so every round exercises the LOS.
+			deg := uint64(512) << (round % 4)
+			n := 2 * deg
+
+			// Deterministic input polynomials.
+			m.AllocRawArray(fftSiteCoeff, deg, 1)
+			m.AllocRawArray(fftSiteCoeff, deg, 2)
+			for i := uint64(0); i < deg; i++ {
+				m.StoreIntField(1, i, math.Float64bits(float64((i*7+uint64(round))%13)-6))
+				m.StoreIntField(2, i, math.Float64bits(float64((i*11+uint64(round))%17)-8))
+			}
+
+			m.CallArgs(mult, []int{1, 2}, func() {
+				m.AllocRawArray(fftSiteWork, n, 3)
+				m.AllocRawArray(fftSiteWork, n, 4)
+				m.AllocRawArray(fftSiteWork, n, 5)
+				m.AllocRawArray(fftSiteWork, n, 6)
+				for i := uint64(0); i < deg; i++ {
+					m.StoreIntField(3, i, m.LoadFieldInt(1, i))
+					m.StoreIntField(5, i, m.LoadFieldInt(2, i))
+				}
+				fftTransform(m, 3, 4, n, false)
+				fftTransform(m, 5, 6, n, false)
+				// Pointwise product into (re1, im1).
+				for i := uint64(0); i < n; i++ {
+					ar := math.Float64frombits(m.LoadFieldInt(3, i))
+					ai := math.Float64frombits(m.LoadFieldInt(4, i))
+					br := math.Float64frombits(m.LoadFieldInt(5, i))
+					bi := math.Float64frombits(m.LoadFieldInt(6, i))
+					m.StoreIntField(3, i, math.Float64bits(ar*br-ai*bi))
+					m.StoreIntField(4, i, math.Float64bits(ar*bi+ai*br))
+					m.Work(6)
+				}
+				fftTransform(m, 3, 4, n, true)
+				// Fold rounded product coefficients into the return value.
+				var sum uint64
+				for i := uint64(0); i < n; i++ {
+					c := math.Round(math.Float64frombits(m.LoadFieldInt(3, i)))
+					sum = sum*31 + uint64(int64(c)+1<<20)
+				}
+				m.RetInt(sum)
+			})
+			check ^= m.TakeRetInt() + uint64(round)
+		}
+	})
+	return Result{Check: check}
+}

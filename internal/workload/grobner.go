@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+)
+
+// Grobner computes a (degree-truncated) Gröbner basis of a set of
+// bivariate polynomials over F_32003 with Buchberger's algorithm.
+// Polynomials are sorted term lists; the recursive merge in polynomial
+// addition gives the moderately deep, frequently-unwinding stack of
+// Table 2 (max 106 frames, average 16.5), and the growing basis is the
+// benchmark's modest long-lived data.
+type grobnerBench struct{}
+
+// Grobner's allocation sites.
+const (
+	grobSiteTerm  obj.SiteID = 400 + iota // arithmetic result terms (mostly die)
+	grobSiteBasis                         // basis spine + kept polynomials
+	grobSitePair                          // S-polynomial temporaries
+)
+
+func init() { register(grobnerBench{}) }
+
+func (grobnerBench) Name() string { return "Grobner" }
+
+func (grobnerBench) Description() string {
+	return "Compute Grobner basis of a set of polynomials up to degree 7"
+}
+
+func (grobnerBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		grobSiteTerm:  "polynomial term cons",
+		grobSiteBasis: "basis list cons",
+		grobSitePair:  "s-polynomial term cons",
+	}
+}
+
+func (grobnerBench) OnlyOldSites() []obj.SiteID { return nil }
+
+const (
+	grobP      = 32003 // coefficient field
+	grobMaxDeg = 14    // degree truncation bound
+)
+
+// Exponent packing: graded lexicographic order falls out of integer
+// comparison on (e1+e2)<<16 | e1.
+func grobPack(e1, e2 uint64) uint64 { return (e1+e2)<<16 | e1 }
+func grobE1(p uint64) uint64        { return p & 0xffff }
+func grobE2(p uint64) uint64        { return (p >> 16) - (p & 0xffff) }
+
+// Term records are [exp(raw), coeff(raw), next(ptr)]: mask 0b100.
+const grobTermMask = 0b100
+
+func grobDivides(a, b uint64) bool {
+	return grobE1(a) <= grobE1(b) && grobE2(a) <= grobE2(b)
+}
+
+func grobModInv(a uint64) uint64 {
+	// Fermat: a^(p-2) mod p.
+	r, e, b := uint64(1), uint64(grobP-2), a%grobP
+	for e > 0 {
+		if e&1 == 1 {
+			r = r * b % grobP
+		}
+		b = b * b % grobP
+		e >>= 1
+	}
+	return r
+}
+
+func (grobnerBench) Run(m *Mutator, scale Scale) Result {
+	// Frames: every polynomial routine gets pointer slots for its term
+	// cursors; add is recursive (one frame per merged term).
+	main := m.PtrFrame("grob_main", 4)
+	add := m.PtrFrame("grob_add", 4)     // p, q, rec-result, scratch
+	scl := m.PtrFrame("grob_scale", 3)   // p, rec-result, scratch
+	spair := m.PtrFrame("grob_spoly", 6) // f, g, t1, t2, r, scratch
+	reduce := m.PtrFrame("grob_reduce", 6)
+
+	// newTerm allocates a term [exp, coeff, tailSlot] into dst.
+	newTerm := func(site obj.SiteID, exp, coeff uint64, tailSlot, dst int) {
+		a := m.Col.Alloc(obj.Record, 3, site, grobTermMask)
+		m.Col.InitField(a, 0, exp)
+		m.Col.InitField(a, 1, coeff%grobP)
+		m.Col.InitField(a, 2, m.Slot(tailSlot))
+		m.SetSlot(dst, uint64(a))
+	}
+
+	// addBody merges the polynomials in slots 1 and 2 (descending
+	// exponent order), returning the sum via RetPtr. Recursive.
+	var addBody func(site obj.SiteID)
+	addBody = func(site obj.SiteID) {
+		if m.IsNil(1) {
+			m.RetPtr(2)
+			return
+		}
+		if m.IsNil(2) {
+			m.RetPtr(1)
+			return
+		}
+		ep := m.LoadFieldInt(1, 0)
+		eq := m.LoadFieldInt(2, 0)
+		m.Work(2)
+		switch {
+		case ep > eq:
+			m.LoadField(1, 2, 3) // p.tail
+			m.CallArgs(add, []int{3, 2}, func() { addBody(site) })
+			m.TakeRet(3)
+			newTerm(site, ep, m.LoadFieldInt(1, 1), 3, 3)
+			m.RetPtr(3)
+		case eq > ep:
+			m.LoadField(2, 2, 3)
+			m.CallArgs(add, []int{1, 3}, func() { addBody(site) })
+			m.TakeRet(3)
+			newTerm(site, eq, m.LoadFieldInt(2, 1), 3, 3)
+			m.RetPtr(3)
+		default:
+			c := (m.LoadFieldInt(1, 1) + m.LoadFieldInt(2, 1)) % grobP
+			m.LoadField(1, 2, 3)
+			m.LoadField(2, 2, 4)
+			m.CallArgs(add, []int{3, 4}, func() { addBody(site) })
+			m.TakeRet(3)
+			if c != 0 {
+				newTerm(site, ep, c, 3, 3)
+			}
+			m.RetPtr(3)
+		}
+	}
+
+	// scaleBody multiplies the polynomial in slot 1 by monomial
+	// (expDelta, coeff), truncating terms above the degree bound.
+	var scaleBody func(site obj.SiteID, expDelta, coeff uint64)
+	scaleBody = func(site obj.SiteID, expDelta, coeff uint64) {
+		if m.IsNil(1) {
+			m.RetPtr(1)
+			return
+		}
+		m.LoadField(1, 2, 2)
+		m.CallArgs(scl, []int{2}, func() { scaleBody(site, expDelta, coeff) })
+		m.TakeRet(2)
+		e := m.LoadFieldInt(1, 0) + expDelta
+		if (e >> 16) > grobMaxDeg { // total degree exceeds the bound
+			m.RetPtr(2)
+			return
+		}
+		newTerm(site, e, m.LoadFieldInt(1, 1)*coeff, 2, 2)
+		m.RetPtr(2)
+	}
+
+	var check uint64
+	runs := scale.Reps(120)
+	for r := 0; r < runs; r++ {
+		m.Call(main, func() {
+			// Input system (coefficients vary per run to vary the work):
+			//   f1 = x^3 y - 2 x y^2 + c
+			//   f2 = x^2 y^2 - y^3 + x
+			//   f3 = x^4 - x y + c
+			c0 := uint64(r%7 + 2)
+			build := func(terms [][2]uint64, dst int) {
+				m.SetSlotNil(dst)
+				for i := len(terms) - 1; i >= 0; i-- {
+					newTerm(grobSiteBasis, terms[i][0], terms[i][1], dst, dst)
+				}
+			}
+			build([][2]uint64{{grobPack(3, 1), 1}, {grobPack(1, 2), grobP - 2}, {grobPack(0, 0), c0}}, 1)
+			// Basis list: cons of polynomials (slot 2), newest first.
+			m.SetSlotNil(2)
+			m.ConsPtr(grobSiteBasis, 1, 2, 2)
+			build([][2]uint64{{grobPack(2, 2), 1}, {grobPack(0, 3), grobP - 1}, {grobPack(1, 0), 1}}, 1)
+			m.ConsPtr(grobSiteBasis, 1, 2, 2)
+			build([][2]uint64{{grobPack(4, 0), 1}, {grobPack(1, 1), grobP - 1}, {grobPack(0, 0), c0}}, 1)
+			m.ConsPtr(grobSiteBasis, 1, 2, 2)
+
+			basisLen := 3
+			// Buchberger: process index pairs (i, j), i < j.
+			type pair struct{ i, j int }
+			var pairs []pair
+			for i := 0; i < basisLen; i++ {
+				for j := i + 1; j < basisLen; j++ {
+					pairs = append(pairs, pair{i, j})
+				}
+			}
+			// nth loads basis element idx (0 = newest) into dst.
+			nth := func(idx, dst int) {
+				m.SetSlot(dst, m.Slot(2))
+				for k := 0; k < idx; k++ {
+					m.Tail(dst, dst)
+				}
+				m.Head(dst, dst)
+			}
+			processed := 0
+			for len(pairs) > 0 && basisLen < 24 && processed < 200 {
+				pr := pairs[0]
+				pairs = pairs[1:]
+				processed++
+				// Positions are "from oldest": translate.
+				nth(basisLen-1-pr.i, 3)
+				nth(basisLen-1-pr.j, 4)
+
+				// S-polynomial of slots 3 and 4 into slot 1.
+				m.CallArgs(spair, []int{3, 4}, func() {
+					ef := m.LoadFieldInt(1, 0)
+					eg := m.LoadFieldInt(2, 0)
+					cf := m.LoadFieldInt(1, 1)
+					cg := m.LoadFieldInt(2, 1)
+					l1, l2 := grobE1(ef), grobE1(eg)
+					m1, m2 := grobE2(ef), grobE2(eg)
+					lcm := grobPack(max(l1, l2), max(m1, m2))
+					// sp = f·(lcm/lt(f))·cg − g·(lcm/lt(g))·cf
+					m.SetSlot(3, m.Slot(1))
+					m.CallArgs(scl, []int{3}, func() {
+						scaleBody(grobSitePair, lcm-ef, cg)
+					})
+					m.TakeRet(3)
+					m.SetSlot(4, m.Slot(2))
+					m.CallArgs(scl, []int{4}, func() {
+						scaleBody(grobSitePair, lcm-eg, (grobP-1)*cf%grobP)
+					})
+					m.TakeRet(4)
+					m.CallArgs(add, []int{3, 4}, func() { addBody(grobSitePair) })
+					m.TakeRet(5)
+					m.RetPtr(5)
+				})
+				m.TakeRet(1)
+
+				// Reduce slot 1 against the basis (top-reduction loop).
+				m.CallArgs(reduce, []int{1, 2}, func() {
+					for steps := 0; steps < 120 && !m.IsNil(1); steps++ {
+						lead := m.LoadFieldInt(1, 0)
+						lc := m.LoadFieldInt(1, 1)
+						// Find a basis polynomial whose lead divides ours.
+						m.SetSlot(3, m.Slot(2))
+						found := false
+						for !m.IsNil(3) {
+							m.Head(3, 4)
+							if grobDivides(m.LoadFieldInt(4, 0), lead) {
+								found = true
+								break
+							}
+							m.Tail(3, 3)
+							m.Work(2)
+						}
+						if !found {
+							break
+						}
+						// p := p − g·(lt(p)/lt(g)).
+						fl := m.LoadFieldInt(4, 0)
+						fc := m.LoadFieldInt(4, 1)
+						factor := lc * grobModInv(fc) % grobP
+						m.CallArgs(scl, []int{4}, func() {
+							scaleBody(grobSiteTerm, lead-fl, (grobP-1)*factor%grobP)
+						})
+						m.TakeRet(4)
+						m.CallArgs(add, []int{1, 4}, func() { addBody(grobSiteTerm) })
+						m.TakeRet(1)
+					}
+					m.RetPtr(1)
+				})
+				m.TakeRet(1)
+
+				if !m.IsNil(1) {
+					// New basis element: normalizing the lead coefficient
+					// to 1 also rebuilds every term from the long-lived
+					// basis site (the kept copy).
+					lc := m.LoadFieldInt(1, 1)
+					m.CallArgs(scl, []int{1}, func() {
+						scaleBody(grobSiteBasis, 0, grobModInv(lc))
+					})
+					m.TakeRet(1)
+					m.ConsPtr(grobSiteBasis, 1, 2, 2)
+					for i := 0; i < basisLen; i++ {
+						pairs = append(pairs, pair{i, basisLen})
+					}
+					basisLen++
+				}
+			}
+			// Check: basis size and lead exponents.
+			var sum uint64
+			m.SetSlot(3, m.Slot(2))
+			for !m.IsNil(3) {
+				m.Head(3, 4)
+				sum = sum*131 + m.LoadFieldInt(4, 0)
+				m.Tail(3, 3)
+			}
+			check = check*1000003 + uint64(basisLen)*65536 + sum%65536
+		})
+	}
+	return Result{Check: check}
+}

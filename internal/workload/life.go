@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+)
+
+// Life is the game of Life implemented using lists (Reade 1989): the set
+// of live cells is a sorted list of packed coordinates; each generation
+// builds the multiset of neighbours, sorts it by insertion, and derives
+// survivors and births from run lengths. Allocation is torrential, the
+// live set is tiny, and all list processing is tail-recursive, so the
+// stack stays shallow — the anti-Knuth-Bendix.
+type lifeBench struct{}
+
+// Life's allocation sites.
+const (
+	lifeSiteCell obj.SiteID = 700 + iota // generation cell lists
+	lifeSiteNbr                          // neighbour multiset cells
+	lifeSiteSort                         // insertion-sort cells
+)
+
+func init() { register(lifeBench{}) }
+
+func (lifeBench) Name() string { return "Life" }
+
+func (lifeBench) Description() string {
+	return "The game of Life implemented using lists"
+}
+
+func (lifeBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		lifeSiteCell: "generation cell cons",
+		lifeSiteNbr:  "neighbour multiset cons",
+		lifeSiteSort: "insertion sort cons",
+	}
+}
+
+func (lifeBench) OnlyOldSites() []obj.SiteID { return nil }
+
+// Coordinates are packed x*4096+y with a +2048 bias so the pattern can
+// roam negative coordinates.
+func lifePack(x, y int) uint64 { return uint64((x+2048)*4096 + (y + 2048)) }
+
+func (lifeBench) Run(m *Mutator, scale Scale) Result {
+	// main(gen, next, scratch) → neighbours(gen, acc, scratch)
+	//   → insert(list, scratch) → evolve(sorted, gen, out, scratch, scratch2).
+	main := m.PtrFrame("life_main", 3)
+	nbrs := m.PtrFrame("life_neighbours", 3)
+	insert := m.PtrFrame("life_insert", 3)
+	evolve := m.PtrFrame("life_evolve", 5)
+
+	var check uint64
+	m.Call(main, func() {
+		// Initial pattern: a glider plus a blinker plus an R-pentomino
+		// fragment — enough population to keep each generation busy.
+		m.SetSlotNil(1)
+		seed := [][2]int{
+			{0, 1}, {1, 2}, {2, 0}, {2, 1}, {2, 2}, // glider
+			{10, 10}, {10, 11}, {10, 12}, // blinker
+			{20, 5}, {20, 6}, {21, 4}, {21, 5}, {22, 5}, // R-pentomino
+		}
+		packed := make([]uint64, len(seed))
+		for i, c := range seed {
+			packed[i] = lifePack(c[0], c[1])
+		}
+		// Cons in descending order so the initial generation list is
+		// sorted ascending (membership walks rely on it).
+		for i := 0; i < len(packed); i++ {
+			for j := i + 1; j < len(packed); j++ {
+				if packed[j] > packed[i] {
+					packed[i], packed[j] = packed[j], packed[i]
+				}
+			}
+		}
+		for _, v := range packed {
+			m.ConsInt(lifeSiteCell, v, 1, 1)
+		}
+
+		gens := scale.Reps(800)
+		for g := 0; g < gens; g++ {
+			// Neighbour multiset of the current generation.
+			m.CallArgs(nbrs, []int{1}, func() {
+				m.SetSlotNil(2)
+				m.SetSlot(3, m.Slot(1))
+				for !m.IsNil(3) {
+					xy := m.HeadInt(3)
+					x, y := int(xy/4096)-2048, int(xy%4096)-2048
+					for dx := -1; dx <= 1; dx++ {
+						for dy := -1; dy <= 1; dy++ {
+							if dx == 0 && dy == 0 {
+								continue
+							}
+							m.ConsInt(lifeSiteNbr, lifePack(x+dx, y+dy), 2, 2)
+						}
+					}
+					m.Tail(3, 3)
+				}
+				// Insertion sort into a fresh sorted list (the allocation
+				// storm of Reade's formulation).
+				m.CallArgs(insert, []int{2}, func() {
+					m.SetSlotNil(2)
+					for !m.IsNil(1) {
+						v := m.HeadInt(1)
+						// Rebuild the sorted list with v inserted: walk
+						// the prefix into slot 3 reversed, then cons back.
+						m.SetSlotNil(3)
+						for !m.IsNil(2) && m.HeadInt(2) < v {
+							m.ConsInt(lifeSiteSort, m.HeadInt(2), 3, 3)
+							m.Tail(2, 2)
+						}
+						m.ConsInt(lifeSiteSort, v, 2, 2)
+						for !m.IsNil(3) {
+							m.ConsInt(lifeSiteSort, m.HeadInt(3), 2, 2)
+							m.Tail(3, 3)
+						}
+						m.Tail(1, 1)
+						m.Work(4)
+					}
+					m.RetPtr(2)
+				})
+				m.TakeRet(2)
+				m.RetPtr(2)
+			})
+			m.TakeRet(2)
+
+			// Derive the next generation from neighbour-run lengths.
+			m.CallArgs(evolve, []int{2, 1}, func() {
+				m.SetSlotNil(3) // output
+				for !m.IsNil(1) {
+					v := m.HeadInt(1)
+					run := uint64(0)
+					for !m.IsNil(1) && m.HeadInt(1) == v {
+						run++
+						m.Tail(1, 1)
+					}
+					alive := false
+					if run == 2 || run == 3 {
+						// Is v currently alive? Walk the sorted gen list.
+						m.SetSlot(4, m.Slot(2))
+						for !m.IsNil(4) && m.HeadInt(4) < v {
+							m.Tail(4, 4)
+						}
+						member := !m.IsNil(4) && m.HeadInt(4) == v
+						alive = run == 3 || member
+					}
+					if alive {
+						m.ConsInt(lifeSiteCell, v, 3, 3)
+					}
+					m.Work(2)
+				}
+				// Output built in descending order; reverse to keep the
+				// generation sorted ascending.
+				m.SetSlotNil(4)
+				for !m.IsNil(3) {
+					m.ConsInt(lifeSiteCell, m.HeadInt(3), 4, 4)
+					m.Tail(3, 3)
+				}
+				m.RetPtr(4)
+			})
+			m.TakeRet(1)
+			check = check*16777619 ^ m.ListLen(1, 3)
+		}
+	})
+	return Result{Check: check}
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// Nqueen solves the N-queens problem for n = 10 by backtracking over
+// placement lists. The search's trail cells die almost immediately, but
+// every completed placement is copied onto a solutions list that lives to
+// the end of the run — producing the strongly bimodal heap profile of
+// Figure 2, where four sites account for 99% of all copied bytes. The
+// paper's §7.2 dataflow analysis shows the solution cells reference only
+// other pretenured cells, enabling scan elision.
+type nqueenBench struct{}
+
+// Nqueen's allocation sites.
+const (
+	nqSiteTrail   obj.SiteID = 800 + iota // placement trail cells (die young)
+	nqSiteSolCell                         // copied solution cells (long-lived)
+	nqSiteSolList                         // solutions list spine (long-lived)
+	nqSiteRunBox                          // per-run result box (long-lived)
+)
+
+func init() { register(nqueenBench{}) }
+
+func (nqueenBench) Name() string { return "Nqueen" }
+
+func (nqueenBench) Description() string {
+	return "The N-queens problem for n=10"
+}
+
+func (nqueenBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		nqSiteTrail:   "placement trail cons",
+		nqSiteSolCell: "solution copy cons",
+		nqSiteSolList: "solutions list cons",
+		nqSiteRunBox:  "run result box",
+	}
+}
+
+// OnlyOldSites: a solution cell's tail is always another solution cell (or
+// nil), and the solutions-list spine points only at solution cells and
+// spine cells — the manual dataflow result of §7.2.
+func (nqueenBench) OnlyOldSites() []obj.SiteID {
+	return []obj.SiteID{nqSiteSolCell, nqSiteSolList, nqSiteRunBox}
+}
+
+const nqN = 10
+
+func (nqueenBench) Run(m *Mutator, scale Scale) Result {
+	// main(sols, keep) → solve(placed, sols, newcell, scratch) recursive
+	//   → safe(placed) → copySol(placed, acc, scratch).
+	main := m.PtrFrame("nq_main", 2)
+	solve := m.Frame("nq_solve", rt.PTR(), rt.PTR(), rt.PTR(), rt.PTR(), rt.NP())
+	safe := m.Frame("nq_safe", rt.PTR(), rt.NP(), rt.NP())
+	copySol := m.Frame("nq_copy", rt.PTR(), rt.PTR(), rt.PTR())
+
+	var solutions uint64
+	var check uint64
+
+	// solveBody: slot1 = placed list (row encoded implicitly by length),
+	// slot2 = solutions list. Returns updated solutions list via RetPtr.
+	var solveBody func(row int)
+	solveBody = func(row int) {
+		if row == nqN {
+			// Copy the placement onto the long-lived solutions list.
+			m.CallArgs(copySol, []int{1}, func() {
+				m.SetSlotNil(2)
+				for !m.IsNil(1) {
+					m.ConsInt(nqSiteSolCell, m.HeadInt(1), 2, 2)
+					m.Tail(1, 1)
+				}
+				m.RetPtr(2)
+			})
+			m.TakeRet(3)
+			m.ConsPtr(nqSiteSolList, 3, 2, 2)
+			solutions++
+			m.RetPtr(2)
+			return
+		}
+		for col := 0; col < nqN; col++ {
+			ok := false
+			m.CallArgs(safe, []int{1}, func() {
+				dist := uint64(1)
+				good := true
+				for !m.IsNil(1) {
+					c := m.HeadInt(1)
+					m.Work(3)
+					if c == uint64(col) || c+dist == uint64(col) ||
+						c == uint64(col)+dist {
+						good = false
+						break
+					}
+					dist++
+					m.Tail(1, 1)
+				}
+				ok = good
+			})
+			if !ok {
+				continue
+			}
+			m.ConsInt(nqSiteTrail, uint64(col), 1, 3)
+			m.CallArgs(solve, []int{3, 2}, func() { solveBody(row + 1) })
+			m.TakeRet(2)
+		}
+		m.RetPtr(2)
+	}
+
+	m.Call(main, func() {
+		runs := scale.Reps(300)
+		for r := 0; r < runs; r++ {
+			solutions = 0
+			m.SetSlotNil(1) // fresh solutions list each run
+			m.Call(solve, func() {
+				m.SetSlotNil(1)
+				m.SetSlotNil(2)
+				solveBody(0)
+			})
+			m.TakeRet(1)
+			// Tally: number of solutions and a positional checksum.
+			count := m.ListLen(1, 2)
+			var sum uint64
+			m.SetSlot(2, m.Slot(1))
+			for !m.IsNil(2) {
+				m.Head(2, 2) // descend into first solution only
+				break
+			}
+			for !m.IsNil(2) {
+				sum = sum*31 + m.HeadInt(2)
+				m.Tail(2, 2)
+			}
+			check = check*1000003 + count*1000 + sum%1000
+			// Box the run result; the box (and through it the solutions)
+			// stays live until the next run completes.
+			m.AllocRecord(nqSiteRunBox, 2, 0b01, 2)
+			m.InitPtrField(2, 0, 1)
+			m.InitIntField(2, 1, count)
+		}
+	})
+	_ = solutions
+	return Result{Check: check}
+}

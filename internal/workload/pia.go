@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"math"
+
+	"tilgc/internal/obj"
+)
+
+// PIA is the Perspective Inversion Algorithm (Waugh, McAndrew, Michaelson
+// 1990): deciding the location of an object in a perspective video image.
+// Each video frame allocates transformation matrices and point arrays
+// that stay live for a short window of frames and then die — data that
+// survives into the tenured generation and promptly becomes garbage
+// there. This is the allocation behaviour §4 singles out as hostile to
+// generational collection: at small k the collector majors constantly
+// (GC time 71s at k=1.5 versus 4.2s at k=4).
+type piaBench struct{}
+
+// PIA's allocation sites.
+const (
+	piaSitePoints obj.SiteID = 1000 + iota // point coordinate arrays
+	piaSiteMatrix                          // 4x4 transform matrices
+	piaSiteFrame                           // per-frame result record
+	piaSiteWindow                          // sliding window spine
+	piaSiteScan                            // scanline temporaries
+)
+
+func init() { register(piaBench{}) }
+
+func (piaBench) Name() string { return "PIA" }
+
+func (piaBench) Description() string {
+	return "The Perspective Inversion Algorithm deciding the location of an " +
+		"object in a perspective video image"
+}
+
+func (piaBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		piaSitePoints: "point coordinate array",
+		piaSiteMatrix: "transform matrix",
+		piaSiteFrame:  "frame result record",
+		piaSiteWindow: "sliding window cons",
+		piaSiteScan:   "scanline temporary",
+	}
+}
+
+func (piaBench) OnlyOldSites() []obj.SiteID { return nil }
+
+const (
+	piaWindow = 8   // frames kept live (then tenured garbage)
+	piaPoints = 640 // points per video frame
+	piaDepth  = 110 // recursive scanline pass depth
+)
+
+func (piaBench) Run(m *Mutator, scale Scale) Result {
+	// main(window, frame, scratch) → frameFn(pts, mat, res, scratch)
+	//   → scan(pts, tmp) recursive per scanline.
+	main := m.PtrFrame("pia_main", 3)
+	frameFn := m.PtrFrame("pia_frame", 4)
+	scan := m.PtrFrame("pia_scan", 2)
+
+	getF := func(slot int, i uint64) float64 {
+		return math.Float64frombits(m.LoadFieldInt(slot, i))
+	}
+
+	var check uint64
+	m.Call(main, func() {
+		m.SetSlotNil(1) // the sliding window
+		frames := scale.Reps(4000)
+		for f := 0; f < frames; f++ {
+			m.CallArgs(frameFn, nil, func() {
+				// Observed points for this video frame.
+				m.AllocRawArray(piaSitePoints, piaPoints*2, 1)
+				for i := uint64(0); i < piaPoints; i++ {
+					x := float64(i%32) - 16
+					y := float64(i/32) - 10
+					z := 40.0 + float64((i*7+uint64(f))%9)
+					m.StoreIntField(1, 2*i, math.Float64bits(x/z))
+					m.StoreIntField(1, 2*i+1, math.Float64bits(y/z))
+				}
+				// Candidate inverse-perspective transform.
+				m.AllocRawArray(piaSiteMatrix, 16, 2)
+				ang := float64(f%360) * math.Pi / 180
+				c, s := math.Cos(ang), math.Sin(ang)
+				for i, v := range [16]float64{
+					c, -s, 0, 0, s, c, 0, 0, 0, 0, 1, 40, 0, 0, 0, 1,
+				} {
+					m.StoreIntField(2, uint64(i), math.Float64bits(v))
+				}
+				// Recursive scanline refinement: one activation record
+				// per scanline pass (the paper's 120-frame average depth).
+				var residual float64
+				var descend func(d int)
+				descend = func(d int) {
+					if d == piaDepth {
+						return
+					}
+					m.CallArgs(scan, []int{1}, func() {
+						m.AllocRecord(piaSiteScan, 3, 0b01, 2)
+						m.InitPtrField(2, 0, 1)
+						m.InitIntField(2, 1, uint64(d))
+						i := uint64(d*5) % piaPoints
+						u := getF(1, 2*i)
+						v := getF(1, 2*i+1)
+						residual += math.Abs(u*c + v*s)
+						m.Work(12)
+						descend(d + 1)
+					})
+				}
+				descend(0)
+				// Frame result: matrix + fitted residual.
+				m.AllocRecord(piaSiteFrame, 3, 0b011, 3)
+				m.InitPtrField(3, 0, 1)
+				m.InitPtrField(3, 1, 2)
+				m.InitIntField(3, 2, math.Float64bits(residual))
+				m.RetPtr(3)
+			})
+			m.TakeRet(2)
+			// Slide the window: keep the last piaWindow frame results.
+			m.ConsPtr(piaSiteWindow, 2, 1, 1)
+			m.SetSlot(3, m.Slot(1))
+			for i := 0; i < piaWindow-1 && !m.IsNil(3); i++ {
+				m.Tail(3, 3)
+			}
+			if !m.IsNil(3) {
+				m.SetSlotNil(2)
+				m.StorePtrField(3, 1, 2) // truncate: older frames die
+			}
+			// Fold the newest residual into the check.
+			m.Head(1, 3)
+			check = check*31 + m.LoadFieldInt(3, 2)%1000003
+		}
+	})
+	return Result{Check: check}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"tilgc/internal/obj"
+)
+
+// Workload is one of the paper's benchmark programs (Table 1).
+type Workload interface {
+	// Name returns the benchmark name as the paper's tables spell it.
+	Name() string
+	// Description matches Table 1's description column.
+	Description() string
+	// Run executes the program against the mutator at the given scale
+	// and returns a deterministic self-check value; the value must be
+	// identical under every collector configuration.
+	Run(m *Mutator, scale Scale) Result
+	// Sites documents the workload's allocation sites for profiles.
+	Sites() map[obj.SiteID]string
+	// OnlyOldSites lists allocation sites whose objects are known (by
+	// the §7.2 manual dataflow analysis) to reference only data that is
+	// itself pretenured or tenured; nil when the analysis was not done.
+	OnlyOldSites() []obj.SiteID
+}
+
+// Result is a workload's outcome.
+type Result struct {
+	// Check is the deterministic self-check value.
+	Check uint64
+}
+
+// Scale divides the paper's iteration counts so experiments complete in
+// seconds instead of the minutes the 1998 runs took. Structural
+// parameters (live-set shapes, stack depths, site structure) are not
+// scaled — only repetition counts are — so allocation ratios and depth
+// profiles keep the paper's shape.
+type Scale struct {
+	// Repeat multiplies top-level iteration counts (1.0 = paper scale).
+	Repeat float64
+	// Depth multiplies structural recursion depths (term sizes, string
+	// lengths) for the deep-stack benchmarks. Zero means 1.0. Depth is
+	// kept at 1.0 for table runs — the paper's stack-depth profile is
+	// load-bearing for the §5 results — and reduced only in unit tests.
+	Depth float64
+}
+
+// DefaultScale keeps each full-table experiment in the seconds range.
+var DefaultScale = Scale{Repeat: 0.02}
+
+// PaperScale runs the paper's full iteration counts.
+var PaperScale = Scale{Repeat: 1.0}
+
+// Reps scales a paper iteration count, never below 1.
+func (s Scale) Reps(paperCount int) int {
+	n := int(float64(paperCount) * s.Repeat)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// DepthOf scales a structural depth, never below min.
+func (s Scale) DepthOf(paperDepth, min int) int {
+	d := s.Depth
+	if d == 0 {
+		d = 1.0
+	}
+	n := int(float64(paperDepth) * d)
+	if n < min {
+		return min
+	}
+	return n
+}
+
+var registry = map[string]Workload{}
+
+// register adds a workload at package init time.
+func register(w Workload) Workload {
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name()))
+	}
+	registry[w.Name()] = w
+	return w
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names returns all benchmark names in the paper's table order where
+// possible (alphabetical matches the paper closely).
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns all workloads in Names() order.
+func All() []Workload {
+	var ws []Workload
+	for _, n := range Names() {
+		ws = append(ws, registry[n])
+	}
+	return ws
+}
