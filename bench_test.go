@@ -213,6 +213,55 @@ func BenchmarkAblationMarkerSpacing(b *testing.B) {
 	}
 }
 
+// ---- Parallel experiment runner -----------------------------------------------------
+
+// table7Configs is the Table 7 run matrix (4 collector configurations ×
+// all benchmarks), the densest sweep the harness runs — the natural
+// stress case for the worker pool.
+func table7Configs() []harness.RunConfig {
+	kinds := []harness.CollectorKind{
+		harness.KindSemispace, harness.KindGenerational,
+		harness.KindGenMarkers, harness.KindGenMarkersPretenure,
+	}
+	var cfgs []harness.RunConfig
+	for _, name := range harness.PaperOrder {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, harness.RunConfig{
+				Workload: name, Scale: benchScale, Kind: kind, K: 4,
+			})
+		}
+	}
+	return cfgs
+}
+
+// BenchmarkRunAllSweep measures a full Table 7 sweep through the worker
+// pool at increasing parallelism; the speedup from serial to parallel is
+// the whole point of the batch runner, and every variant produces
+// identical simulated results.
+func BenchmarkRunAllSweep(b *testing.B) {
+	cfgs := table7Configs()
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"serial", 1},
+		{"parallel-4", 4},
+		{"parallel-maxprocs", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var last []*harness.RunResult
+			for i := 0; i < b.N; i++ {
+				rs, err := harness.RunAll(cfgs, harness.Options{Parallelism: bc.par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rs
+			}
+			reportSim(b, last[len(last)-1])
+		})
+	}
+}
+
 // ---- Raw simulator microbenchmarks ----------------------------------------------------
 
 func BenchmarkSimulatorAllocate(b *testing.B) {

@@ -4,16 +4,23 @@
 //
 //	gcbench -table 4               # Table 4 (generational collector sweep)
 //	gcbench -table 5 -repeat 0.05  # Table 5 at a larger workload scale
+//	gcbench -table 5 -parallel 8   # fan runs out over 8 workers
 //	gcbench -figure 2              # Figure 2 heap profiles
 //	gcbench -experiment elide      # §7.2 scan-elision extension
 //	gcbench -experiment all        # everything, in paper order
 //	gcbench -list                  # list benchmarks and experiments
+//
+// Experiment runs are deterministic and independent, so -parallel only
+// changes wall-clock time: the rendered tables are byte-identical at
+// every worker count. -progress streams per-run events to stderr, which
+// keeps long sweeps observable without disturbing the table on stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"tilgc/gcsim"
 )
@@ -26,6 +33,9 @@ func main() {
 		"workload repetition scale (1.0 = the paper's full iteration counts)")
 	depth := flag.Float64("depth", 1.0,
 		"structural recursion depth scale (1.0 = the paper's stack-depth profile)")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"experiment worker-pool size (1 = serial; output is identical either way)")
+	progress := flag.Bool("progress", false, "stream per-run progress to stderr")
 	list := flag.Bool("list", false, "list benchmarks and experiments")
 	flag.Parse()
 
@@ -42,9 +52,14 @@ func main() {
 		return
 	}
 
+	opts := gcsim.RunOptions{Parallelism: *parallel}
+	if *progress {
+		opts.Events = progressWriter
+	}
+
 	scale := gcsim.Scale{Repeat: *repeat, Depth: *depth}
 	run := func(name string) {
-		if err := gcsim.Experiment(os.Stdout, name, scale); err != nil {
+		if err := gcsim.ExperimentOpts(os.Stdout, name, scale, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "gcbench:", err)
 			os.Exit(1)
 		}
@@ -65,5 +80,24 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// progressWriter renders one run event per line on stderr.
+func progressWriter(e gcsim.RunEvent) {
+	label := fmt.Sprintf("%s/%s", e.Config.Workload, e.Config.Kind)
+	if e.Config.K > 0 {
+		label += fmt.Sprintf(" k=%g", e.Config.K)
+	}
+	switch e.Kind {
+	case gcsim.EventRunStarted:
+		fmt.Fprintf(os.Stderr, "[%3d/%3d] start   %s\n", e.Index+1, e.Total, label)
+	case gcsim.EventRunFinished:
+		if e.Err != nil {
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] FAILED  %s: %v\n", e.Index+1, e.Total, label, e.Err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "[%3d/%3d] done    %-40s %4d GCs  max-pause %.4fs  total %.3fs\n",
+			e.Index+1, e.Total, label, e.GCs, e.MaxPauseSec, e.TotalSec)
 	}
 }

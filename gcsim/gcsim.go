@@ -289,36 +289,56 @@ func (r *Runtime) RunBenchmark(name string, scale Scale) (uint64, error) {
 
 // ---- Experiments ------------------------------------------------------------
 
+// RunOptions configures experiment execution: worker-pool parallelism
+// and the per-run progress hook. The zero value runs with one worker per
+// CPU and no progress events. Whatever the parallelism, experiment
+// output is byte-identical to the serial path (see harness.RunAll).
+type RunOptions = harness.Options
+
+// RunEvent is one per-run progress notification (see RunOptions.Events).
+type RunEvent = harness.Event
+
+// RunEvent kinds.
+const (
+	EventRunStarted  = harness.EventRunStarted
+	EventRunFinished = harness.EventRunFinished
+)
+
 // Experiment regenerates one of the paper's tables or figures, writing
 // the rendered result to w. Valid names: "table1" ... "table7",
 // "figure2", "elide", "barrier", "markersweep".
 func Experiment(w io.Writer, name string, scale Scale) error {
+	return ExperimentOpts(w, name, scale, RunOptions{})
+}
+
+// ExperimentOpts is Experiment with explicit execution options.
+func ExperimentOpts(w io.Writer, name string, scale Scale, opts RunOptions) error {
 	switch name {
 	case "table1":
 		return harness.Table1(w)
 	case "table2":
-		return harness.Table2(w, scale)
+		return harness.Table2(w, scale, opts)
 	case "table3":
-		return harness.Table3(w, scale)
+		return harness.Table3(w, scale, opts)
 	case "table4":
-		return harness.Table4(w, scale)
+		return harness.Table4(w, scale, opts)
 	case "table5":
-		return harness.Table5(w, scale)
+		return harness.Table5(w, scale, opts)
 	case "table6":
-		return harness.Table6(w, scale)
+		return harness.Table6(w, scale, opts)
 	case "table7":
-		return harness.Table7(w, scale)
+		return harness.Table7(w, scale, opts)
 	case "figure2":
-		return harness.Figure2(w, scale)
+		return harness.Figure2(w, scale, opts)
 	case "elide":
-		return harness.ExtensionElide(w, scale)
+		return harness.ExtensionElide(w, scale, opts)
 	case "barrier":
-		return harness.ExtensionBarrier(w, scale)
+		return harness.ExtensionBarrier(w, scale, opts)
 	case "aging":
-		return harness.ExtensionAging(w, scale)
+		return harness.ExtensionAging(w, scale, opts)
 	case "markersweep":
 		return harness.MarkerSweep(w, scale,
-			[]string{"Knuth-Bendix", "Color"}, []int{5, 10, 25, 50, 100})
+			[]string{"Knuth-Bendix", "Color"}, []int{5, 10, 25, 50, 100}, opts)
 	}
 	return fmt.Errorf("gcsim: unknown experiment %q", name)
 }
@@ -338,5 +358,5 @@ var DefaultScale = workload.DefaultScale
 // WriteProfile runs the named benchmark with profiling and writes its
 // Figure 2-style heap-profile report.
 func WriteProfile(w io.Writer, name string, scale Scale) error {
-	return harness.Profiles(w, scale, []string{name})
+	return harness.Profiles(w, scale, []string{name}, RunOptions{})
 }

@@ -210,6 +210,25 @@ func TestTimeAccessorsAndCollect(t *testing.T) {
 	}
 }
 
+func TestExperimentOptsParallelIdentical(t *testing.T) {
+	scale := Scale{Repeat: 0.002, Depth: 0.3}
+	var serial, parallel strings.Builder
+	if err := ExperimentOpts(&serial, "elide", scale, RunOptions{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	opts := RunOptions{Parallelism: 4, Events: func(e RunEvent) { events++ }}
+	if err := ExperimentOpts(&parallel, "elide", scale, opts); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel output differs from serial:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+	if events == 0 {
+		t.Fatal("progress hook never fired")
+	}
+}
+
 func TestExperimentDispatchAllNames(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs every experiment")

@@ -3,6 +3,27 @@
 // budgets (Min = twice the maximum live data, measured by a calibration
 // run), gathers the measurements the tables report, derives pretenuring
 // policies from profiling runs, and renders Tables 2-7 and Figure 2.
+//
+// # Concurrency contract
+//
+// Run is safe to call from multiple goroutines, and RunAll fans a batch
+// of runs out across a bounded worker pool. The contract:
+//
+//   - Per-run state (heap, stack, trace table, meter, mutator, profiler)
+//     is constructed fresh inside Run and never shared, so concurrent
+//     runs cannot observe each other.
+//   - Workload implementations are stateless singletons (Run receives
+//     all mutable state through its Mutator) and the workload registry
+//     is immutable after package init.
+//   - The only shared mutable state is the calibration cache. It is
+//     keyed per (workload, canonical scale, pretenure cutoff) with
+//     per-key singleflight: calibrations for distinct keys run
+//     concurrently, while two runs needing the same key block on a
+//     single calibration pass. ClearCalibrationCache must not be called
+//     concurrently with runs.
+//   - Every run is deterministic (simulated cost model, no wall-clock
+//     or map-order dependence), so RunAll's input-order assembly is
+//     byte-for-byte identical to the serial path at any parallelism.
 package harness
 
 import (
@@ -106,6 +127,10 @@ func (r *RunResult) GC() float64 { return r.Times.GC().Seconds() }
 // Client returns mutator pseudo-seconds.
 func (r *RunResult) Client() float64 { return r.Times.Client.Seconds() }
 
+// DefaultPretenureCutoff is the paper's old% cutoff for selecting
+// pretenured sites (§6).
+const DefaultPretenureCutoff = 80
+
 // calibration caches per-workload measurements that experiments share.
 type calibration struct {
 	maxLiveWords uint64
@@ -113,25 +138,53 @@ type calibration struct {
 	profiler     *prof.Profiler
 }
 
+// calEntry is one singleflight slot in the calibration cache: the first
+// goroutine to claim a key runs the calibration inside the entry's Once
+// while later arrivals block on it, so the same workload never calibrates
+// twice, and distinct workloads calibrate concurrently.
+type calEntry struct {
+	once sync.Once
+	cal  *calibration
+	err  error
+}
+
 var (
 	calMu    sync.Mutex
-	calCache = map[string]*calibration{}
+	calCache = map[string]*calEntry{}
 )
 
-func calKey(name string, s workload.Scale) string {
-	return fmt.Sprintf("%s/%g/%g", name, s.Repeat, s.Depth)
+// calKey keys the calibration cache. The scale is canonicalized first
+// (Scale documents zero Depth as meaning 1.0) so equal scales never
+// calibrate twice, and the cutoff participates because the derived policy
+// depends on it.
+func calKey(name string, s workload.Scale, cutoffPct float64) string {
+	s = s.Canon()
+	return fmt.Sprintf("%s/%g/%g/%g", name, s.Repeat, s.Depth, cutoffPct)
 }
 
 // Calibrate measures a workload's maximum live data and heap profile with
 // an instrumented, generously-budgeted generational run, and derives the
-// pretenuring policy. Results are cached per (workload, scale).
-func Calibrate(name string, scale workload.Scale) (*calibration, error) {
-	calMu.Lock()
-	defer calMu.Unlock()
-	key := calKey(name, scale)
-	if c, ok := calCache[key]; ok {
-		return c, nil
+// pretenuring policy using the given old% cutoff (0 means the paper's
+// default, 80). Results are cached per (workload, canonical scale,
+// cutoff) with per-key singleflight.
+func Calibrate(name string, scale workload.Scale, cutoffPct float64) (*calibration, error) {
+	if cutoffPct == 0 {
+		cutoffPct = DefaultPretenureCutoff
 	}
+	key := calKey(name, scale, cutoffPct)
+	calMu.Lock()
+	e, ok := calCache[key]
+	if !ok {
+		e = &calEntry{}
+		calCache[key] = e
+	}
+	calMu.Unlock()
+	e.once.Do(func() { e.cal, e.err = calibrate(name, scale, cutoffPct) })
+	return e.cal, e.err
+}
+
+// calibrate performs the two calibration passes for Calibrate.
+func calibrate(name string, scale workload.Scale, cutoffPct float64) (*calibration, error) {
 	w, err := workload.Get(name)
 	if err != nil {
 		return nil, err
@@ -170,7 +223,7 @@ func Calibrate(name string, scale workload.Scale) (*calibration, error) {
 	tight := runPass(tightBudget, nil)
 	maxLive := max(rough.Stats().MaxLiveBytes, tight.Stats().MaxLiveBytes)
 
-	policy := profiler.Policy(80, 32)
+	policy := profiler.Policy(cutoffPct, 32)
 	// Attach the §7.2 manual-dataflow flags to the policy sites.
 	onlyOld := map[obj.SiteID]bool{}
 	for _, s := range w.OnlyOldSites() {
@@ -188,15 +241,15 @@ func Calibrate(name string, scale workload.Scale) (*calibration, error) {
 	if c.maxLiveWords < 256 {
 		c.maxLiveWords = 256
 	}
-	calCache[key] = c
 	return c, nil
 }
 
-// ClearCalibrationCache drops cached calibrations (tests).
+// ClearCalibrationCache drops cached calibrations (tests). It must not
+// run concurrently with Run or Calibrate.
 func ClearCalibrationCache() {
 	calMu.Lock()
 	defer calMu.Unlock()
-	calCache = map[string]*calibration{}
+	calCache = map[string]*calEntry{}
 }
 
 // Run executes one experiment.
@@ -205,7 +258,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cal, err := Calibrate(cfg.Workload, cfg.Scale)
+	cal, err := Calibrate(cfg.Workload, cfg.Scale, cfg.PretenureCutoff)
 	if err != nil {
 		return nil, err
 	}

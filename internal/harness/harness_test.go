@@ -12,22 +12,34 @@ var tiny = workload.Scale{Repeat: 0.002, Depth: 0.3}
 
 func TestCalibrateCachesAndMeasures(t *testing.T) {
 	ClearCalibrationCache()
-	c1, err := Calibrate("Nqueen", tiny)
+	c1, err := Calibrate("Nqueen", tiny, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c1.maxLiveWords == 0 {
 		t.Fatal("calibration measured zero live data")
 	}
-	c2, _ := Calibrate("Nqueen", tiny)
+	c2, _ := Calibrate("Nqueen", tiny, 0)
 	if c1 != c2 {
 		t.Fatal("calibration not cached")
+	}
+	// An explicit cutoff equal to the default shares the cache entry.
+	c3, _ := Calibrate("Nqueen", tiny, DefaultPretenureCutoff)
+	if c1 != c3 {
+		t.Fatal("default cutoff not normalized in the cache key")
+	}
+	// Scale{Depth: 0} documents zero as meaning 1.0, so it must share a
+	// cache entry with the explicit Depth 1.0.
+	cz, _ := Calibrate("Nqueen", workload.Scale{Repeat: tiny.Repeat}, 0)
+	co, _ := Calibrate("Nqueen", workload.Scale{Repeat: tiny.Repeat, Depth: 1.0}, 0)
+	if cz != co {
+		t.Fatal("Scale{Depth: 0} and Scale{Depth: 1} calibrated separately")
 	}
 }
 
 func TestCalibrationPolicySelectsLongLivedSites(t *testing.T) {
 	ClearCalibrationCache()
-	c, err := Calibrate("Nqueen", workload.Scale{Repeat: 0.005})
+	c, err := Calibrate("Nqueen", workload.Scale{Repeat: 0.005}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,6 +86,9 @@ func TestBudgetAffectsGCCount(t *testing.T) {
 }
 
 func TestMarkersReduceKBGCStackCost(t *testing.T) {
+	if raceEnabled {
+		t.Skip("near-paper-scale Knuth-Bendix run; too slow under the race detector")
+	}
 	scale := workload.Scale{Repeat: 0.004, Depth: 1}
 	base, err := Run(RunConfig{Workload: "Knuth-Bendix", Scale: scale, Kind: KindGenerational, K: 4})
 	if err != nil {
@@ -122,11 +137,15 @@ func TestProfileRunAttachesProfiler(t *testing.T) {
 }
 
 func TestTableRenderersProduceOutput(t *testing.T) {
+	if raceEnabled {
+		t.Skip("profiling and k=4 sweeps; too slow under the race detector")
+	}
+	par := Options{Parallelism: 4}
 	cases := map[string]func(*strings.Builder) error{
 		"table1":  func(b *strings.Builder) error { return Table1(b) },
-		"figure2": func(b *strings.Builder) error { return Figure2(b, tiny) },
-		"elide":   func(b *strings.Builder) error { return ExtensionElide(b, tiny) },
-		"barrier": func(b *strings.Builder) error { return ExtensionBarrier(b, tiny) },
+		"figure2": func(b *strings.Builder) error { return Figure2(b, tiny, par) },
+		"elide":   func(b *strings.Builder) error { return ExtensionElide(b, tiny, par) },
+		"barrier": func(b *strings.Builder) error { return ExtensionBarrier(b, tiny, par) },
 	}
 	for name, fn := range cases {
 		var b strings.Builder
@@ -140,11 +159,11 @@ func TestTableRenderersProduceOutput(t *testing.T) {
 }
 
 func TestTable5SmallScale(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		t.Skip("table sweep")
 	}
 	var b strings.Builder
-	if err := Table5(&b, workload.Scale{Repeat: 0.002, Depth: 0.5}); err != nil {
+	if err := Table5(&b, workload.Scale{Repeat: 0.002, Depth: 0.5}, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -176,19 +195,20 @@ func TestCollectorKindStrings(t *testing.T) {
 // TestAllTableRenderers exercises every table renderer end to end at a
 // tiny scale (slow: a full k-sweep per table).
 func TestAllTableRenderers(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceEnabled {
 		t.Skip("full table sweeps")
 	}
 	scale := workload.Scale{Repeat: 0.001, Depth: 0.15}
+	par := Options{Parallelism: 4}
 	renderers := map[string]func(*strings.Builder) error{
-		"table2": func(b *strings.Builder) error { return Table2(b, scale) },
-		"table3": func(b *strings.Builder) error { return Table3(b, scale) },
-		"table4": func(b *strings.Builder) error { return Table4(b, scale) },
-		"table6": func(b *strings.Builder) error { return Table6(b, scale) },
-		"table7": func(b *strings.Builder) error { return Table7(b, scale) },
-		"aging":  func(b *strings.Builder) error { return ExtensionAging(b, scale) },
+		"table2": func(b *strings.Builder) error { return Table2(b, scale, par) },
+		"table3": func(b *strings.Builder) error { return Table3(b, scale, par) },
+		"table4": func(b *strings.Builder) error { return Table4(b, scale, par) },
+		"table6": func(b *strings.Builder) error { return Table6(b, scale, par) },
+		"table7": func(b *strings.Builder) error { return Table7(b, scale, par) },
+		"aging":  func(b *strings.Builder) error { return ExtensionAging(b, scale, par) },
 		"msweep": func(b *strings.Builder) error {
-			return MarkerSweep(b, scale, []string{"Color"}, []int{5, 50})
+			return MarkerSweep(b, scale, []string{"Color"}, []int{5, 50}, par)
 		},
 	}
 	for name, fn := range renderers {

@@ -1,0 +1,12 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The paper-effect tests that run benchmarks at near-paper
+// scale (deep Knuth-Bendix stacks, full table sweeps) are 5-10x slower
+// under the detector and blow the package test timeout, so they skip
+// themselves; the concurrency-focused tests (RunAll determinism,
+// calibration singleflight, parallel-vs-serial table identity) run at
+// reduced scale and provide the race coverage.
+const raceEnabled = true

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tilgc/internal/costmodel"
+)
+
+// EventKind distinguishes the progress events RunAll emits.
+type EventKind int
+
+const (
+	// EventRunStarted fires when a worker picks a run off the queue.
+	EventRunStarted EventKind = iota
+	// EventRunFinished fires when a run completes (or fails).
+	EventRunFinished
+)
+
+// Event is one progress notification from RunAll. Finished events carry
+// the run's headline measurements (collection count, longest pause,
+// simulated total) so long sweeps are observable before the assembled
+// table renders.
+type Event struct {
+	Kind   EventKind
+	Index  int // position of the run in the RunAll input slice
+	Total  int // number of runs in the batch
+	Config RunConfig
+
+	// The fields below are populated on EventRunFinished only.
+	Err         error
+	GCs         uint64  // collections the run performed
+	MaxPauseSec float64 // longest single collection, simulated seconds
+	TotalSec    float64 // simulated mutator+collector seconds
+}
+
+// Options configures RunAll.
+type Options struct {
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS.
+	// Parallelism 1 is the serial path: runs execute one at a time in
+	// input order.
+	Parallelism int
+	// Events, when non-nil, receives progress notifications. Calls are
+	// serialized (never concurrent), but arrive in completion order —
+	// not input order — when Parallelism > 1. The hook runs on worker
+	// goroutines and delays run dispatch while it executes, so it
+	// should be cheap.
+	Events func(Event)
+}
+
+// workers resolves the pool size for a batch of n runs.
+func (o Options) workers(n int) int {
+	p := o.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+// RunAll executes every config, fanning the runs out across a bounded
+// worker pool, and assembles the results in input order: out[i] is
+// Run(cfgs[i]). Because runs are deterministic and share no mutable
+// state beyond the singleflight calibration cache (see the package
+// comment), the assembled slice — and any table rendered from it — is
+// identical at every parallelism level, including the serial
+// Parallelism-1 path.
+//
+// All runs are attempted even when some fail; the returned error is the
+// first failure in input order, and failed slots are nil.
+func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
+	results := make([]*RunResult, len(cfgs))
+	errs := make([]error, len(cfgs))
+
+	var evMu sync.Mutex
+	emit := func(e Event) {
+		if opts.Events == nil {
+			return
+		}
+		evMu.Lock()
+		defer evMu.Unlock()
+		opts.Events(e)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := opts.workers(len(cfgs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				emit(Event{Kind: EventRunStarted, Index: i, Total: len(cfgs), Config: cfgs[i]})
+				r, err := Run(cfgs[i])
+				results[i], errs[i] = r, err
+				done := Event{Kind: EventRunFinished, Index: i, Total: len(cfgs), Config: cfgs[i], Err: err}
+				if r != nil {
+					done.GCs = r.Stats.NumGC
+					done.MaxPauseSec = costmodel.Cycles(r.Stats.MaxPauseCycles).Seconds()
+					done.TotalSec = r.Total()
+				}
+				emit(done)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -39,17 +39,22 @@ func Table1(w io.Writer) error {
 }
 
 // Table2 renders the allocation characteristics of the benchmarks.
-func Table2(w io.Writer, scale workload.Scale) error {
+func Table2(w io.Writer, scale workload.Scale, opts Options) error {
+	var cfgs []RunConfig
+	for _, name := range PaperOrder {
+		cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: KindGenerational})
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
 	header(w, "Table 2: Allocation characteristics of benchmarks")
 	fmt.Fprintf(w, "%-13s %9s %9s %9s %9s %14s %10s %10s\n",
 		"Program", "Total", "Max Live", "Records", "Arrays",
 		"Max(Avg)Frames", "New Frames", "Ptr Updates")
-	for _, name := range PaperOrder {
-		r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenerational})
-		if err != nil {
-			return err
-		}
-		cal, err := Calibrate(name, scale)
+	for i, name := range PaperOrder {
+		r := rs[i]
+		cal, err := Calibrate(name, scale, 0)
 		if err != nil {
 			return err
 		}
@@ -66,32 +71,30 @@ func Table2(w io.Writer, scale workload.Scale) error {
 func mb(b uint64) float64 { return float64(b) / (1 << 20) }
 func kb(b uint64) float64 { return float64(b) / (1 << 10) }
 
-// kSweep runs a workload under a collector kind for every paper k.
-func kSweep(name string, scale workload.Scale, kind CollectorKind) ([]*RunResult, error) {
-	var out []*RunResult
-	for _, k := range PaperKs {
-		r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: kind, K: k})
-		if err != nil {
-			return nil, err
+// sweepConfigs builds the workload-major × PaperKs run matrix, so row i
+// of a sweep renders from results[i*len(PaperKs) : (i+1)*len(PaperKs)].
+func sweepConfigs(names []string, scale workload.Scale, kind CollectorKind) []RunConfig {
+	var cfgs []RunConfig
+	for _, name := range names {
+		for _, k := range PaperKs {
+			cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: kind, K: k})
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	return cfgs
 }
 
 // sweepTable renders the Table 3/4 layout for a collector kind.
-func sweepTable(w io.Writer, scale workload.Scale, kind CollectorKind, withDepth bool) error {
+func sweepTable(w io.Writer, scale workload.Scale, kind CollectorKind, withDepth bool, opts Options) error {
+	all, err := RunAll(sweepConfigs(PaperOrder, scale, kind), opts)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-13s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
 		"", "Total", "Total", "Total", "GC", "GC", "GC", "Client", "Client", "Client")
 	fmt.Fprintf(w, "%-13s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
 		"Program", "k=1.5", "k=2.0", "k=4.0", "k=1.5", "k=2.0", "k=4.0", "k=1.5", "k=2.0", "k=4.0")
-	all := map[string][]*RunResult{}
-	for _, name := range PaperOrder {
-		rs, err := kSweep(name, scale, kind)
-		if err != nil {
-			return err
-		}
-		all[name] = rs
+	for i, name := range PaperOrder {
+		rs := all[i*len(PaperKs) : (i+1)*len(PaperKs)]
 		fmt.Fprintf(w, "%-13s | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f | %8.3f %8.3f %8.3f\n",
 			name,
 			rs[0].Total(), rs[1].Total(), rs[2].Total(),
@@ -108,8 +111,8 @@ func sweepTable(w io.Writer, scale workload.Scale, kind CollectorKind, withDepth
 			"Program", "GCs@1.5", "GCs@2.0", "GCs@4.0",
 			"copied@1.5", "copied@2.0", "copied@4.0")
 	}
-	for _, name := range PaperOrder {
-		rs := all[name]
+	for i, name := range PaperOrder {
+		rs := all[i*len(PaperKs) : (i+1)*len(PaperKs)]
 		if withDepth {
 			fmt.Fprintf(w, "%-13s | %8d %8d %8d | %12d %12d %12d | %9.1f\n",
 				name, rs[0].Stats.NumGC, rs[1].Stats.NumGC, rs[2].Stats.NumGC,
@@ -125,35 +128,37 @@ func sweepTable(w io.Writer, scale workload.Scale, kind CollectorKind, withDepth
 }
 
 // Table3 renders the semispace collector sweep.
-func Table3(w io.Writer, scale workload.Scale) error {
+func Table3(w io.Writer, scale workload.Scale, opts Options) error {
 	header(w, "Table 3: Time and space usage for semispace collector (pseudo-seconds)")
-	return sweepTable(w, scale, KindSemispace, false)
+	return sweepTable(w, scale, KindSemispace, false, opts)
 }
 
 // Table4 renders the generational collector sweep.
-func Table4(w io.Writer, scale workload.Scale) error {
+func Table4(w io.Writer, scale workload.Scale, opts Options) error {
 	header(w, "Table 4: Time and space usage for generational collector (pseudo-seconds)")
-	return sweepTable(w, scale, KindGenerational, true)
+	return sweepTable(w, scale, KindGenerational, true, opts)
 }
 
 // Table5 renders the GC-cost breakdown without and with stack markers at
 // k = 4.
-func Table5(w io.Writer, scale workload.Scale) error {
+func Table5(w io.Writer, scale workload.Scale, opts Options) error {
+	var cfgs []RunConfig
+	for _, name := range PaperOrder {
+		cfgs = append(cfgs,
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: 4},
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4})
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
 	header(w, "Table 5: Breakdown of GC cost at k=4 without and with stack markers")
 	fmt.Fprintf(w, "%-13s | %7s %7s %7s %7s | %7s %7s %7s %7s | %9s\n",
 		"", "-----", "without", "markers", "-----", "-----", "with", "markers", "-----", "GC%")
 	fmt.Fprintf(w, "%-13s | %7s %7s %7s %7s | %7s %7s %7s %7s | %9s\n",
 		"Program", "GC", "stack", "copy", "stack%", "GC", "stack", "copy", "stack%", "decreased")
-	for _, name := range PaperOrder {
-		base, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: 4})
-		if err != nil {
-			return err
-		}
-		mk, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4})
-		if err != nil {
-			return err
-		}
-		bs, ms := base.Times, mk.Times
+	for i, name := range PaperOrder {
+		bs, ms := rs[2*i].Times, rs[2*i+1].Times
 		dec := 100 * (1 - float64(ms.GC())/float64(max(bs.GC(), 1)))
 		fmt.Fprintf(w, "%-13s | %7.3f %7.3f %7.3f %6.1f%% | %7.3f %7.3f %7.3f %6.1f%% | %8.1f%%\n",
 			name,
@@ -167,27 +172,28 @@ func Table5(w io.Writer, scale workload.Scale) error {
 }
 
 // Table6 renders the pretenuring results for the profile-selected targets.
-func Table6(w io.Writer, scale workload.Scale) error {
+func Table6(w io.Writer, scale workload.Scale, opts Options) error {
+	// Per target: the three pretenure k-sweep runs, then the gen+markers
+	// k=4 baseline the % columns compare against.
+	stride := len(PaperKs) + 1
+	var cfgs []RunConfig
+	for _, name := range PretenureTargets {
+		for _, k := range PaperKs {
+			cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenure, K: k})
+		}
+		cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4})
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
 	header(w, "Table 6: Generational collector with stack markers and pretenuring")
 	fmt.Fprintf(w, "%-13s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s | %6s %7s %6s\n",
 		"Program", "Tot@1.5", "Tot@2.0", "Tot@4.0",
 		"GC@1.5", "GC@2.0", "GC@4.0",
 		"Cl@1.5", "Cl@2.0", "Cl@4.0", "GC%", "Client%", "Tot%")
-	type row struct {
-		pre  []*RunResult
-		base *RunResult
-	}
-	rows := map[string]row{}
-	for _, name := range PretenureTargets {
-		pre, err := kSweep(name, scale, KindGenMarkersPretenure)
-		if err != nil {
-			return err
-		}
-		base, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4})
-		if err != nil {
-			return err
-		}
-		rows[name] = row{pre: pre, base: base}
+	for i, name := range PretenureTargets {
+		pre, base := rs[i*stride:i*stride+len(PaperKs)], rs[i*stride+len(PaperKs)]
 		p4 := pre[2]
 		gcDec := 100 * (1 - p4.GC()/maxf(base.GC(), 1e-9))
 		clDec := 100 * (1 - p4.Client()/maxf(base.Client(), 1e-9))
@@ -202,12 +208,12 @@ func Table6(w io.Writer, scale workload.Scale) error {
 	fmt.Fprintf(w, "\n%-13s | %8s %8s %8s | %12s %12s %12s | %14s\n",
 		"Program", "GCs@1.5", "GCs@2.0", "GCs@4.0",
 		"copied@1.5", "copied@2.0", "copied@4.0", "copied vs base")
-	for _, name := range PretenureTargets {
-		r := rows[name]
-		copyDec := 100 * (1 - float64(r.pre[2].Stats.BytesCopied)/maxf(float64(r.base.Stats.BytesCopied), 1))
+	for i, name := range PretenureTargets {
+		pre, base := rs[i*stride:i*stride+len(PaperKs)], rs[i*stride+len(PaperKs)]
+		copyDec := 100 * (1 - float64(pre[2].Stats.BytesCopied)/maxf(float64(base.Stats.BytesCopied), 1))
 		fmt.Fprintf(w, "%-13s | %8d %8d %8d | %12d %12d %12d | %12.0f%%↓\n",
-			name, r.pre[0].Stats.NumGC, r.pre[1].Stats.NumGC, r.pre[2].Stats.NumGC,
-			r.pre[0].Stats.BytesCopied, r.pre[1].Stats.BytesCopied, r.pre[2].Stats.BytesCopied,
+			name, pre[0].Stats.NumGC, pre[1].Stats.NumGC, pre[2].Stats.NumGC,
+			pre[0].Stats.BytesCopied, pre[1].Stats.BytesCopied, pre[2].Stats.BytesCopied,
 			copyDec)
 	}
 	fmt.Fprintln(w, "\n(% decrease columns compare against gen+markers at k=4)")
@@ -217,21 +223,27 @@ func Table6(w io.Writer, scale workload.Scale) error {
 // Table7 renders the relative GC times at k = 4 across the four
 // configurations, normalized to the semispace collector (the paper's bar
 // chart, as text).
-func Table7(w io.Writer, scale workload.Scale) error {
-	header(w, "Table 7: Relative GC time at k=4.0 (semispace = 100%)")
+func Table7(w io.Writer, scale workload.Scale, opts Options) error {
 	kinds := []CollectorKind{
 		KindSemispace, KindGenerational, KindGenMarkers, KindGenMarkersPretenure,
 	}
+	var cfgs []RunConfig
+	for _, name := range PaperOrder {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: kind, K: 4})
+		}
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
+	header(w, "Table 7: Relative GC time at k=4.0 (semispace = 100%)")
 	fmt.Fprintf(w, "%-13s %12s %12s %12s %12s\n",
 		"Program", "semispace", "gen", "+markers", "+pretenure")
-	for _, name := range PaperOrder {
+	for i, name := range PaperOrder {
 		var gcs []float64
-		for _, kind := range kinds {
-			r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: kind, K: 4})
-			if err != nil {
-				return err
-			}
-			gcs = append(gcs, r.GC())
+		for j := range kinds {
+			gcs = append(gcs, rs[i*len(kinds)+j].GC())
 		}
 		base := maxf(gcs[0], 1e-9)
 		fmt.Fprintf(w, "%-13s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
@@ -241,20 +253,24 @@ func Table7(w io.Writer, scale workload.Scale) error {
 }
 
 // Figure2 renders the heap-profile reports for Knuth-Bendix and Nqueen.
-func Figure2(w io.Writer, scale workload.Scale) error {
-	return Profiles(w, scale, []string{"Knuth-Bendix", "Nqueen"})
+func Figure2(w io.Writer, scale workload.Scale, opts Options) error {
+	return Profiles(w, scale, []string{"Knuth-Bendix", "Nqueen"}, opts)
 }
 
 // Profiles renders Figure 2-style heap profiles for the named benchmarks.
-func Profiles(w io.Writer, scale workload.Scale, names []string) error {
+func Profiles(w io.Writer, scale workload.Scale, names []string, opts Options) error {
+	var cfgs []RunConfig
 	for _, name := range names {
-		r, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Workload: name, Scale: scale, Kind: KindGenerational, Profile: true,
 		})
-		if err != nil {
-			return err
-		}
-		r.Profiler.WriteReport(w, prof.DefaultReportOptions(name))
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		rs[i].Profiler.WriteReport(w, prof.DefaultReportOptions(name))
 		fmt.Fprintln(w)
 	}
 	return nil
@@ -262,17 +278,21 @@ func Profiles(w io.Writer, scale workload.Scale, names []string) error {
 
 // ExtensionElide renders the §7.2 scan-elision experiment: Nqueen with
 // pretenuring, without and with the dataflow-driven scan elision.
-func ExtensionElide(w io.Writer, scale workload.Scale) error {
+func ExtensionElide(w io.Writer, scale workload.Scale, opts Options) error {
+	names := []string{"Nqueen", "Knuth-Bendix"}
+	var cfgs []RunConfig
+	for _, name := range names {
+		cfgs = append(cfgs,
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenure, K: 4},
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenureElide, K: 4})
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
 	header(w, "Extension (§7.2): pretenure-region scan elision on Nqueen")
-	for _, name := range []string{"Nqueen", "Knuth-Bendix"} {
-		pre, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenure, K: 4})
-		if err != nil {
-			return err
-		}
-		el, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkersPretenureElide, K: 4})
-		if err != nil {
-			return err
-		}
+	for i, name := range names {
+		pre, el := rs[2*i], rs[2*i+1]
 		dec := 100 * (1 - el.GC()/maxf(pre.GC(), 1e-9))
 		fmt.Fprintf(w, "%-13s GC %8.3fs -> %8.3fs (%.1f%% decrease); scanned %d -> %d bytes\n",
 			name, pre.GC(), el.GC(), dec, pre.Stats.BytesScanned, el.Stats.BytesScanned)
@@ -284,22 +304,29 @@ func ExtensionElide(w io.Writer, scale workload.Scale) error {
 // promotion, objects bound for the tenured generation are copied several
 // times, so pretenuring saves proportionally more — the paper's
 // prediction, measured.
-func ExtensionAging(w io.Writer, scale workload.Scale) error {
+func ExtensionAging(w io.Writer, scale workload.Scale, opts Options) error {
+	kinds := []CollectorKind{
+		KindGenMarkers, KindGenMarkersPretenure, KindGenAging, KindGenAgingPretenure,
+	}
+	var cfgs []RunConfig
+	for _, name := range PretenureTargets {
+		for _, kind := range kinds {
+			cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: kind, K: 4})
+		}
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
 	header(w, "Extension (§7.2): pretenuring under aging (non-immediate promotion)")
 	fmt.Fprintf(w, "%-13s %28s %29s %14s\n",
 		"", "immediate promotion", "aging (3 minors)", "benefit ratio")
 	fmt.Fprintf(w, "%-13s %13s %14s %14s %14s\n",
 		"Program", "copied(base)", "copied(pre)", "copied(base)", "copied(pre)")
-	for _, name := range PretenureTargets {
+	for i, name := range PretenureTargets {
 		var copied [4]uint64
-		for i, kind := range []CollectorKind{
-			KindGenMarkers, KindGenMarkersPretenure, KindGenAging, KindGenAgingPretenure,
-		} {
-			r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: kind, K: 4})
-			if err != nil {
-				return err
-			}
-			copied[i] = r.Stats.BytesCopied
+		for j := range kinds {
+			copied[j] = rs[i*len(kinds)+j].Stats.BytesCopied
 		}
 		savedImm := int64(copied[0]) - int64(copied[1])
 		savedAge := int64(copied[2]) - int64(copied[3])
@@ -315,17 +342,21 @@ func ExtensionAging(w io.Writer, scale workload.Scale) error {
 
 // ExtensionBarrier renders the §4 write-barrier ablation: Peg with the
 // sequential store buffer versus card marking.
-func ExtensionBarrier(w io.Writer, scale workload.Scale) error {
+func ExtensionBarrier(w io.Writer, scale workload.Scale, opts Options) error {
+	names := []string{"Peg", "Life"}
+	var cfgs []RunConfig
+	for _, name := range names {
+		cfgs = append(cfgs,
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: 4},
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenCards, K: 4})
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
 	header(w, "Extension (§4): SSB versus card-marking write barrier")
-	for _, name := range []string{"Peg", "Life"} {
-		ssb, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: 4})
-		if err != nil {
-			return err
-		}
-		cards, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenCards, K: 4})
-		if err != nil {
-			return err
-		}
+	for i, name := range names {
+		ssb, cards := rs[2*i], rs[2*i+1]
 		fmt.Fprintf(w, "%-13s SSB: GC %8.3fs (%d entries processed)  cards: GC %8.3fs\n",
 			name, ssb.GC(), ssb.Stats.SSBProcessed, cards.GC())
 	}
@@ -334,16 +365,22 @@ func ExtensionBarrier(w io.Writer, scale workload.Scale) error {
 
 // MarkerSweep renders an ablation over the marker spacing n (§5 notes n
 // balances reuse against bookkeeping; the paper uses n = 25).
-func MarkerSweep(w io.Writer, scale workload.Scale, names []string, ns []int) error {
-	header(w, "Ablation: stack-marker spacing n")
+func MarkerSweep(w io.Writer, scale workload.Scale, names []string, ns []int, opts Options) error {
+	var cfgs []RunConfig
 	for _, name := range names {
-		fmt.Fprintf(w, "%-13s:", name)
 		for _, n := range ns {
-			r, err := Run(RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4, MarkerN: n})
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "  n=%-3d %7.3fs", n, r.GC())
+			cfgs = append(cfgs, RunConfig{Workload: name, Scale: scale, Kind: KindGenMarkers, K: 4, MarkerN: n})
+		}
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
+	header(w, "Ablation: stack-marker spacing n")
+	for i, name := range names {
+		fmt.Fprintf(w, "%-13s:", name)
+		for j, n := range ns {
+			fmt.Fprintf(w, "  n=%-3d %7.3fs", n, rs[i*len(ns)+j].GC())
 		}
 		fmt.Fprintln(w)
 	}

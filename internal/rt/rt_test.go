@@ -395,6 +395,26 @@ func TestCardTable(t *testing.T) {
 	}
 }
 
+// TestCardTableCardsSorted dirties many cards in scattered order and
+// requires Cards() to come back ascending: the collector scans cards in
+// this order, so map iteration order here would make copy order and cost
+// accounting vary run to run.
+func TestCardTableCardsSorted(t *testing.T) {
+	c := NewCardTable(costmodel.NewMeter(), 4) // 16-word cards
+	for _, off := range []uint64{9000, 16, 4096, 0, 100000, 512, 48, 7777} {
+		c.Record(mem.MakeAddr(1, off))
+	}
+	ids := c.Cards()
+	if len(ids) != c.DirtyCards() {
+		t.Fatalf("Cards() returned %d ids for %d dirty cards", len(ids), c.DirtyCards())
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("Cards() not sorted ascending: %v", ids)
+		}
+	}
+}
+
 // TestStackInvariantsRandomWalk drives a long random sequence of calls,
 // returns, handler pushes and raises, checking structural invariants at
 // every step.

@@ -1,6 +1,8 @@
 package rt
 
 import (
+	"slices"
+
 	"tilgc/internal/costmodel"
 	"tilgc/internal/mem"
 )
@@ -83,12 +85,17 @@ func (c *CardTable) CardBounds(id uint64) (mem.Addr, uint64) {
 	return mem.Addr(id << c.cardShift), 1 << c.cardShift
 }
 
-// Cards returns the dirty card ids (unordered).
+// Cards returns the dirty card ids in ascending address order. The order
+// is load-bearing: the collector scans cards directly in this order, so
+// it determines copy order, space layout, and cost accounting — returning
+// map iteration order here would violate DESIGN.md's bit-for-bit
+// reproducibility guarantee.
 func (c *CardTable) Cards() []uint64 {
 	ids := make([]uint64, 0, len(c.dirty))
 	for id := range c.dirty {
 		ids = append(ids, id)
 	}
+	slices.Sort(ids)
 	return ids
 }
 

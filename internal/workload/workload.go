@@ -61,6 +61,17 @@ func (s Scale) Reps(paperCount int) int {
 	return n
 }
 
+// Canon returns the scale with its documented zero-value defaults made
+// explicit: a zero Depth means 1.0. Two scales that behave identically
+// canonicalize to the same value, so anything keying a cache on a Scale
+// (e.g. the harness calibration cache) must key on Canon().
+func (s Scale) Canon() Scale {
+	if s.Depth == 0 {
+		s.Depth = 1.0
+	}
+	return s
+}
+
 // DepthOf scales a structural depth, never below min.
 func (s Scale) DepthOf(paperDepth, min int) int {
 	d := s.Depth

@@ -125,6 +125,22 @@ func TestScaleReps(t *testing.T) {
 	}
 }
 
+func TestScaleCanon(t *testing.T) {
+	// Zero Depth documents as 1.0; Canon makes the default explicit so
+	// caches keyed on a Scale treat the two spellings as one.
+	if got := (Scale{Repeat: 0.5}).Canon(); got != (Scale{Repeat: 0.5, Depth: 1.0}) {
+		t.Errorf("Canon zero depth = %+v", got)
+	}
+	if got := (Scale{Repeat: 0.5, Depth: 0.3}).Canon(); got != (Scale{Repeat: 0.5, Depth: 0.3}) {
+		t.Errorf("Canon explicit depth = %+v", got)
+	}
+	// Canon must agree with DepthOf's interpretation of the zero value.
+	z, o := Scale{Repeat: 1}, Scale{Repeat: 1, Depth: 1.0}
+	if z.DepthOf(40, 1) != o.DepthOf(40, 1) {
+		t.Error("zero and unit depth scale structural depths differently")
+	}
+}
+
 func TestRegistryLookup(t *testing.T) {
 	if _, err := Get("Nqueen"); err != nil {
 		t.Fatal(err)
