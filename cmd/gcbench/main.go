@@ -5,6 +5,7 @@
 //	gcbench -table 4               # Table 4 (generational collector sweep)
 //	gcbench -table 5 -repeat 0.05  # Table 5 at a larger workload scale
 //	gcbench -table 5 -parallel 8   # fan runs out over 8 workers
+//	gcbench -table 4 -sanitize     # verify heap invariants after every GC
 //	gcbench -figure 2              # Figure 2 heap profiles
 //	gcbench -experiment elide      # §7.2 scan-elision extension
 //	gcbench -experiment all        # everything, in paper order
@@ -36,6 +37,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"experiment worker-pool size (1 = serial; output is identical either way)")
 	progress := flag.Bool("progress", false, "stream per-run progress to stderr")
+	sanitizeRuns := flag.Bool("sanitize", false,
+		"run the heap-integrity sanitizer after every collection (slower; output is identical, violations panic)")
 	list := flag.Bool("list", false, "list benchmarks and experiments")
 	flag.Parse()
 
@@ -52,7 +55,7 @@ func main() {
 		return
 	}
 
-	opts := gcsim.RunOptions{Parallelism: *parallel}
+	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns}
 	if *progress {
 		opts.Events = progressWriter
 	}

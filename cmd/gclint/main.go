@@ -1,0 +1,57 @@
+// Command gclint runs the repository's custom static analyzers (see
+// internal/lint) over the module. It complements `go vet` with checks for
+// the determinism contract this simulator depends on:
+//
+//	maporder  order-sensitive iteration over Go maps
+//	detrand   randomness / wall-clock / scheduler reads in the core
+//	cfgread   exported Config fields that nothing ever reads
+//
+// Usage:
+//
+//	go run ./cmd/gclint ./...          # whole module (the CI invocation)
+//	go run ./cmd/gclint ./internal/rt  # one package
+//
+// Exits 1 when any diagnostic survives suppression, so it can gate CI.
+// Suppress a finding with a justified comment on the same line or the
+// line above: //lint:ignore <analyzer> <why this one is safe>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tilgc/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gclint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Default() {
+			fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(dir, patterns, lint.Default())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gclint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

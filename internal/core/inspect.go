@@ -1,0 +1,116 @@
+package core
+
+import (
+	"slices"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/rt"
+)
+
+// PretenuredRegion is a read-only view of one tenured region allocated
+// into directly since the last minor collection.
+type PretenuredRegion struct {
+	Space mem.SpaceID
+	Start uint64 // first word offset
+	End   uint64 // one past the last word offset
+}
+
+// Inspection is a read-only snapshot of a collector's structural state,
+// taken between collections. Integrity checkers (internal/sanitize) use it
+// to walk the heap independently of the collector's own machinery; nothing
+// in an Inspection may be mutated, and slices are defensive copies so
+// holding one across a collection cannot corrupt the collector.
+type Inspection struct {
+	Heap  *mem.Heap
+	Stack *rt.Stack
+	Meter *costmodel.Meter
+	Stats *GCStats
+
+	// Space classification. YoungSpaces are collected at every minor GC
+	// (nursery plus, under aging, both aging semispaces); OldSpaces hold
+	// tenured data; LOSSpaces each hold one large object. Ids absent from
+	// all three sets must hold no live objects.
+	YoungSpaces []mem.SpaceID
+	OldSpaces   []mem.SpaceID
+	LOSSpaces   []mem.SpaceID
+
+	// Generational reports whether old-to-young invariants apply.
+	Generational bool
+	// Exactly one of SSB/Cards is non-nil for generational collectors.
+	SSB   *rt.SSB
+	Cards *rt.CardTable
+	// Sticky are old-space field addresses known to point into the aging
+	// space (empty under immediate promotion).
+	Sticky []mem.Addr
+	// FreshLOS are large objects allocated since the last collection
+	// (their initializing stores bypass the barrier).
+	FreshLOS []mem.Addr
+	// PretenuredRegions are tenured ranges allocated into directly since
+	// the last minor collection; Policy names the sites allowed there.
+	PretenuredRegions []PretenuredRegion
+	Policy            *PretenurePolicy
+	ScanElision       bool
+
+	LargeObjectWords uint64
+	MarkerN          int
+}
+
+// Inspectable is implemented by collectors that can expose their
+// structural state for integrity checking.
+type Inspectable interface {
+	Inspect() Inspection
+}
+
+// Inspect implements Inspectable.
+func (c *Generational) Inspect() Inspection {
+	in := Inspection{
+		Heap:  c.heap,
+		Stack: c.stack,
+		Meter: c.meter,
+		Stats: &c.stats,
+
+		YoungSpaces: []mem.SpaceID{c.nursery.ID()},
+		OldSpaces:   []mem.SpaceID{c.ten.ID()},
+		LOSSpaces:   c.los.SpaceIDs(),
+
+		Generational: true,
+		SSB:          c.ssb,
+		Cards:        c.cards,
+		Sticky:       slices.Clone(c.sticky),
+		FreshLOS:     slices.Clone(c.los.Fresh()),
+		Policy:       c.cfg.Pretenure,
+		ScanElision:  c.cfg.ScanElision,
+
+		LargeObjectWords: c.cfg.LargeObjectWords,
+		MarkerN:          c.cfg.MarkerN,
+	}
+	if c.aging != nil {
+		in.YoungSpaces = append(in.YoungSpaces, c.agA, c.agB)
+	}
+	for _, r := range c.pretenured.regions {
+		in.PretenuredRegions = append(in.PretenuredRegions,
+			PretenuredRegion{Space: r.space, Start: r.start, End: r.end})
+	}
+	return in
+}
+
+// Inspect implements Inspectable. The semispace collector has a single
+// generation: its current allocation space is reported as "old" and the
+// generational invariants (remembered sets, pretenured regions) are vacuous.
+func (c *Semispace) Inspect() Inspection {
+	return Inspection{
+		Heap:  c.heap,
+		Stack: c.stack,
+		Meter: c.meter,
+		Stats: &c.stats,
+
+		OldSpaces: []mem.SpaceID{c.cur.ID()},
+		LOSSpaces: c.los.SpaceIDs(),
+
+		FreshLOS: slices.Clone(c.los.Fresh()),
+
+		LargeObjectWords: c.cfg.LargeObjectWords,
+		MarkerN:          c.cfg.MarkerN,
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"tilgc/internal/costmodel"
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
@@ -87,10 +89,31 @@ func (l *LOS) ClearMarks() {
 	clear(l.marked)
 }
 
+// SpaceIDs returns the ids of all live large-object spaces in ascending
+// order (the order large objects were allocated).
+func (l *LOS) SpaceIDs() []mem.SpaceID {
+	ids := make([]mem.SpaceID, 0, len(l.spaces))
+	for id := range l.spaces {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// ObjectIn returns the address of the large object occupying space id.
+func (l *LOS) ObjectIn(id mem.SpaceID) (mem.Addr, bool) {
+	a, ok := l.spaces[id]
+	return a, ok
+}
+
 // Sweep frees every unmarked large object and clears all marks. Called at
 // the end of a major collection, after the trace has marked the live set.
+// Spaces are visited in ascending id order so the profiler's OnLOSDead
+// callbacks (which accumulate float age sums) fire in a deterministic
+// sequence — map iteration order here would be a reproducibility hazard.
 func (l *LOS) Sweep(prof Profiler) {
-	for id, a := range l.spaces {
+	for _, id := range l.SpaceIDs() {
+		a := l.spaces[id]
 		l.meter.Charge(costmodel.GCCopy, costmodel.SweepObject)
 		if _, ok := l.marked[a]; ok {
 			continue

@@ -36,6 +36,7 @@ import (
 	"tilgc/internal/obj"
 	"tilgc/internal/prof"
 	"tilgc/internal/rt"
+	"tilgc/internal/sanitize"
 	"tilgc/internal/workload"
 )
 
@@ -104,6 +105,11 @@ type RunConfig struct {
 	Profile bool
 	// PretenureCutoff overrides the old% cutoff (default 80).
 	PretenureCutoff float64
+	// Sanitize wraps the collector with the heap-integrity sanitizer
+	// (internal/sanitize): every invariant pass runs after every
+	// collection and a violation panics. Results are byte-identical to an
+	// unsanitized run; only wall-clock time changes.
+	Sanitize bool
 }
 
 // RunResult carries everything the tables need from one run.
@@ -327,6 +333,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		g := core.NewGenerational(stack, meter, profHook, gcfg)
 		col = g
 		updates = g.PointerUpdates
+	}
+	if cfg.Sanitize {
+		col = sanitize.Wrap(col, sanitize.Options{})
 	}
 
 	m := workload.NewMutator(col, stack, table, meter)

@@ -47,6 +47,9 @@ type Options struct {
 	// goroutines and delays run dispatch while it executes, so it
 	// should be cheap.
 	Events func(Event)
+	// Sanitize enables the heap-integrity sanitizer on every run in the
+	// batch (see RunConfig.Sanitize).
+	Sanitize bool
 }
 
 // workers resolves the pool size for a batch of n runs.
@@ -97,7 +100,11 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 					return
 				}
 				emit(Event{Kind: EventRunStarted, Index: i, Total: len(cfgs), Config: cfgs[i]})
-				r, err := Run(cfgs[i])
+				cfg := cfgs[i]
+				if opts.Sanitize {
+					cfg.Sanitize = true
+				}
+				r, err := Run(cfg)
 				results[i], errs[i] = r, err
 				done := Event{Kind: EventRunFinished, Index: i, Total: len(cfgs), Config: cfgs[i], Err: err}
 				if r != nil {

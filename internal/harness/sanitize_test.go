@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"tilgc/internal/workload"
+)
+
+// allKinds is every collector configuration the harness can build.
+var allKinds = []CollectorKind{
+	KindSemispace, KindGenerational, KindGenMarkers,
+	KindGenMarkersPretenure, KindGenMarkersPretenureElide, KindGenCards,
+	KindGenPretenure, KindGenAging, KindGenAgingPretenure,
+}
+
+// TestSanitizedSweepAllKinds runs every collector configuration on a real
+// workload with the sanitizer checking every collection. Run panics (and
+// the test fails) on any invariant violation, so a green run certifies
+// zero violations across the full configuration matrix.
+func TestSanitizedSweepAllKinds(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			r, err := Run(RunConfig{Workload: "Life", Scale: tiny, Kind: kind, K: 2, Sanitize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Stats.NumGC == 0 {
+				t.Fatal("run performed no collections; the sanitizer never engaged")
+			}
+		})
+	}
+}
+
+// TestSanitizeDoesNotChangeResults verifies the wrapper's transparency
+// contract: a sanitized run must produce exactly the results — statistics,
+// meter charges, heap check word — of an unsanitized one.
+func TestSanitizeDoesNotChangeResults(t *testing.T) {
+	for _, kind := range []CollectorKind{KindSemispace, KindGenMarkersPretenure, KindGenCards} {
+		t.Run(kind.String(), func(t *testing.T) {
+			plain, err := Run(RunConfig{Workload: "Nqueen", Scale: tiny, Kind: kind, K: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked, err := Run(RunConfig{Workload: "Nqueen", Scale: tiny, Kind: kind, K: 3, Sanitize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Check != checked.Check {
+				t.Errorf("check word changed: %#x vs %#x", plain.Check, checked.Check)
+			}
+			if plain.Stats != checked.Stats {
+				t.Errorf("stats changed:\n  plain:   %+v\n  checked: %+v", plain.Stats, checked.Stats)
+			}
+			if plain.Times != checked.Times {
+				t.Errorf("cost breakdown changed: %+v vs %+v", plain.Times, checked.Times)
+			}
+		})
+	}
+}
+
+// TestRunAllSanitizedParallel exercises the sanitizer inside the parallel
+// worker pool (this is the -race coverage for internal/sanitize): several
+// sanitized runs of different configurations execute concurrently, and
+// the assembled results must match a serial sanitized batch.
+func TestRunAllSanitizedParallel(t *testing.T) {
+	var cfgs []RunConfig
+	for _, kind := range []CollectorKind{KindGenerational, KindGenMarkers, KindGenCards, KindGenAgingPretenure} {
+		cfgs = append(cfgs, RunConfig{Workload: "Life", Scale: tiny, Kind: kind, K: 2})
+	}
+	serial, err := RunAll(cfgs, Options{Parallelism: 1, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunAll(cfgs, Options{Parallelism: 4, Sanitize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if serial[i].Check != parallel[i].Check || serial[i].Stats != parallel[i].Stats {
+			t.Errorf("%s: parallel sanitized run diverged from serial", cfgs[i].Kind)
+		}
+	}
+}
+
+// TestSanitizeOptionDoesNotMutateInput verifies RunAll's Sanitize option
+// leaves the caller's config slice untouched (it copies before setting).
+func TestSanitizeOptionDoesNotMutateInput(t *testing.T) {
+	cfgs := []RunConfig{{Workload: "Life", Scale: tiny, Kind: KindSemispace, K: 2}}
+	if _, err := RunAll(cfgs, Options{Parallelism: 1, Sanitize: true}); err != nil {
+		t.Fatal(err)
+	}
+	if cfgs[0].Sanitize {
+		t.Fatal("RunAll mutated the caller's RunConfig")
+	}
+}
+
+// TestSanitizedTableByteIdentical renders one table with and without the
+// sanitizer and compares bytes — the contract gcbench -sanitize documents.
+func TestSanitizedTableByteIdentical(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full table render; too slow under the race detector")
+	}
+	scale := workload.Scale{Repeat: 0.002, Depth: 0.3}
+	plain := renderTable(t, scale, Options{Parallelism: 2})
+	checked := renderTable(t, scale, Options{Parallelism: 2, Sanitize: true})
+	if plain != checked {
+		t.Errorf("sanitized table differs from plain table:\n--- plain ---\n%s\n--- sanitized ---\n%s", plain, checked)
+	}
+}
+
+func renderTable(t *testing.T, scale workload.Scale, opts Options) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := Table4(&buf, scale, opts); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Cfgread flags exported fields of exported *Config structs that no code
+// in the module ever reads. A config field that is only ever written (or
+// never mentioned at all) is silently-ignored configuration: the caller
+// sets it, nothing happens, and no error is raised — the failure mode
+// behind the pretenuring-cutoff bug where a sweep "varied" a knob the
+// collector never looked at. Writes don't count as uses; composite-literal
+// keys don't count as uses; a field must flow into behavior somewhere.
+//
+// This is a whole-module analyzer: the field is declared in one package
+// and legitimately read in another, so per-package use counts would be
+// meaningless.
+var Cfgread = &Analyzer{
+	Name:      "cfgread",
+	Doc:       "flags exported Config fields that are never read anywhere in the module",
+	RunModule: runCfgread,
+}
+
+func runCfgread(pass *Pass) {
+	type fieldDecl struct {
+		pos    token.Pos
+		pkg    *Package
+		owner  string
+		sorted int // order of discovery, for stable reporting
+	}
+	fields := make(map[*types.Var]*fieldDecl)
+	order := 0
+
+	// Pass 1: collect exported fields of exported ...Config structs.
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() || !strings.HasSuffix(ts.Name.Name, "Config") {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, fld := range st.Fields.List {
+					if len(fld.Names) == 0 {
+						continue // embedded field
+					}
+					for _, name := range fld.Names {
+						if !name.IsExported() {
+							continue
+						}
+						v, ok := p.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						fields[v] = &fieldDecl{pos: name.Pos(), pkg: p, owner: ts.Name.Name, sorted: order}
+						order++
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	// Pass 2: find reads. A read is any selector use of the field object
+	// that is not purely a store target (lhs of a plain = assignment).
+	read := make(map[*types.Var]bool)
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			storeTargets := collectStoreTargets(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+				if !ok {
+					return true
+				}
+				if _, tracked := fields[v]; !tracked {
+					return true
+				}
+				if !storeTargets[sel] {
+					read[v] = true
+				}
+				return true
+			})
+		}
+	}
+
+	type finding struct {
+		decl *fieldDecl
+		name string
+	}
+	var findings []finding
+	for v, d := range fields {
+		if !read[v] {
+			findings = append(findings, finding{d, v.Name()})
+		}
+	}
+	// Report in declaration order; Analyze re-sorts by position anyway,
+	// but deterministic report order keeps map iteration out of the path.
+	sort.Slice(findings, func(i, j int) bool { return findings[i].decl.sorted < findings[j].decl.sorted })
+	for _, f := range findings {
+		fpass := *pass
+		fpass.Pkg = f.decl.pkg
+		fpass.Reportf(f.decl.pos, "%s.%s is never read: configuration set here is silently ignored", f.decl.owner, f.name)
+	}
+}
+
+// collectStoreTargets returns the selector expressions that appear only as
+// the target of a plain assignment (x.F = v). Compound assignments
+// (x.F += v) read before writing and are excluded.
+func collectStoreTargets(f *ast.File) map[*ast.SelectorExpr]bool {
+	targets := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := lhs.(*ast.SelectorExpr); ok {
+				targets[sel] = true
+			}
+		}
+		return true
+	})
+	return targets
+}

@@ -1,0 +1,185 @@
+// Package lint is a small, dependency-free static-analysis framework plus
+// the repo-specific analyzers behind cmd/gclint. It mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic) but is
+// built entirely on the standard library's go/ast, go/parser, and
+// go/types, because this module deliberately carries no external
+// dependencies: packages are enumerated with `go list -json`, module
+// packages are type-checked here, and standard-library imports are
+// resolved through the stdlib source importer.
+//
+// The analyzers encode this repository's determinism contract (see
+// DESIGN.md): every rendered table must be bit-for-bit reproducible, so
+// map iteration order, wall-clock reads, scheduler-dependent values, and
+// silently-ignored configuration are all bug classes worth catching
+// mechanically — each has already produced a real bug here (the
+// CardTable.Cards() map-order scan, the unread PretenureCutoff field).
+//
+// Findings can be suppressed with an inline comment on the same line or
+// the line above, naming the analyzer and justifying the suppression:
+//
+//	//lint:ignore maporder accumulation is commutative integer addition
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Exactly one of Run (invoked once per
+// target package) or RunModule (invoked once with every loaded module
+// package, for whole-program properties) should be set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run analyzes one target package.
+	Run func(*Pass)
+	// RunModule analyzes the whole module at once.
+	RunModule func(*Pass)
+}
+
+// Pass carries the state for one analyzer invocation and collects its
+// diagnostics. For per-package analyzers Pkg is the package under
+// analysis; for module analyzers Pkg is nil and All holds every loaded
+// module package (targets and their module-local dependencies alike).
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	All      []*Package
+	Targets  []*Package // the packages named by the load patterns
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	var fset = p.fset()
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) fset() *token.FileSet {
+	if p.Pkg != nil {
+		return p.Pkg.Fset
+	}
+	return p.All[0].Fset
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Default returns the analyzers gclint runs.
+func Default() []*Analyzer {
+	return []*Analyzer{Maporder, Detrand, Cfgread}
+}
+
+// Run loads the packages matching patterns (resolved relative to dir, a
+// directory inside the module) and applies the analyzers to them,
+// returning surviving diagnostics sorted by position. //lint:ignore
+// comments suppress matching diagnostics; a suppression that names no
+// analyzer or gives no justification is itself reported.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(pkgs, analyzers), nil
+}
+
+// Analyze applies the analyzers to already-loaded packages.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var targets []*Package
+	for _, p := range pkgs {
+		if p.Target {
+			targets = append(targets, p)
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		switch {
+		case a.Run != nil:
+			for _, p := range targets {
+				a.Run(&Pass{Analyzer: a, Pkg: p, All: pkgs, Targets: targets, diags: &diags})
+			}
+		case a.RunModule != nil:
+			a.RunModule(&Pass{Analyzer: a, All: pkgs, Targets: targets, diags: &diags})
+		}
+	}
+	diags = applyIgnores(targets, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreKey locates a suppressible diagnostic.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// applyIgnores drops diagnostics covered by a well-formed //lint:ignore
+// comment on the same line or the line immediately above, and reports
+// malformed suppressions.
+func applyIgnores(targets []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	ignores := make(map[ignoreKey]bool)
+	for _, p := range targets {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+					if !known[name] || strings.TrimSpace(reason) == "" {
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "lint",
+							Message: "malformed //lint:ignore: want \"//lint:ignore <analyzer> <justification>\""})
+						continue
+					}
+					end := p.Fset.Position(c.End())
+					for line := pos.Line; line <= end.Line+1; line++ {
+						ignores[ignoreKey{pos.Filename, line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

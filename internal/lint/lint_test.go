@@ -1,0 +1,155 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tilgc/internal/lint"
+)
+
+// fixturePatterns are the testdata packages the analyzer tests load. They
+// sit under testdata/ so ./... wildcards (the CI gclint invocation, go
+// build, go vet) never see them.
+var fixturePatterns = []string{
+	"./testdata/src/maporder",
+	"./testdata/src/internal/core",
+	"./testdata/src/cfg",
+}
+
+// expectation is one "// want: <substring>" annotation in a fixture.
+type expectation struct {
+	file string // base name
+	line int
+	want string
+	hit  bool
+}
+
+// collectWants parses the want annotations out of a fixture file.
+func collectWants(t *testing.T, path string) []*expectation {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for i, line := range strings.Split(string(data), "\n") {
+		_, after, ok := strings.Cut(line, "// want: ")
+		if !ok {
+			continue
+		}
+		wants = append(wants, &expectation{
+			file: filepath.Base(path),
+			line: i + 1,
+			want: strings.TrimSpace(after),
+		})
+	}
+	return wants
+}
+
+// TestAnalyzersOnFixtures runs the full pipeline — go list, parse,
+// type-check, analyze, suppress — over the fixture packages and checks the
+// diagnostics exactly match the "want:" annotations.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	var wants []*expectation
+	for _, pat := range fixturePatterns {
+		dir := filepath.FromSlash(strings.TrimPrefix(pat, "./"))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				wants = append(wants, collectWants(t, filepath.Join(dir, e.Name()))...)
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want annotations found in fixtures")
+	}
+
+	diags, err := lint.Run(".", fixturePatterns, lint.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line &&
+				strings.Contains(d.Message, w.want) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic containing %q, got none", w.file, w.line, w.want)
+		}
+	}
+}
+
+// TestMalformedIgnores checks that suppressions naming an unknown analyzer
+// or lacking a justification are reported, not honored.
+func TestMalformedIgnores(t *testing.T) {
+	diags, err := lint.Run(".", []string{"./testdata/src/badignore"}, lint.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 malformed-ignore reports:\n%s", len(diags), renderAll(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" || !strings.Contains(d.Message, "malformed //lint:ignore") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestDiagnosticsSorted checks the position ordering contract on the
+// combined fixture run.
+func TestDiagnosticsSorted(t *testing.T) {
+	diags, err := lint.Run(".", fixturePatterns, lint.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		ka := fmt.Sprintf("%s:%08d:%08d:%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.Analyzer)
+		kb := fmt.Sprintf("%s:%08d:%08d:%s", b.Pos.Filename, b.Pos.Line, b.Pos.Column, b.Analyzer)
+		if ka > kb {
+			t.Errorf("diagnostics out of order:\n  %s\n  %s", a, b)
+		}
+	}
+}
+
+// TestModuleIsClean is the acceptance gate in test form: the real module
+// must produce zero gclint findings. Skipped with -short because it
+// type-checks the whole module.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint run")
+	}
+	diags, err := lint.Run(".", []string{"tilgc/..."}, lint.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("gclint findings on the module:\n%s", renderAll(diags))
+	}
+}
+
+func renderAll(diags []lint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

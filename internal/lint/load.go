@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed, and type-checked module package.
+type Package struct {
+	Path   string
+	Dir    string
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+	Target bool // named by the load patterns (vs. pulled in as a dependency)
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list -json` in dir and decodes the package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// Load enumerates the packages matching patterns (with `go list`, so build
+// constraints and file lists match the real build), parses and type-checks
+// every module package in the dependency closure, and returns them sorted
+// by import path. Packages matching the patterns directly are marked
+// Target; module-local dependencies are loaded too (module analyzers see
+// the whole program) but not marked. Standard-library dependencies are
+// type-checked from source by the stdlib importer and do not appear in the
+// result.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	direct, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[string]bool, len(direct))
+	for _, p := range direct {
+		targets[p.ImportPath] = true
+	}
+
+	l := &loader{
+		fset:   token.NewFileSet(),
+		listed: make(map[string]listedPkg, len(deps)),
+		loaded: make(map[string]*Package),
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, p := range deps {
+		l.listed[p.ImportPath] = p
+	}
+
+	var out []*Package
+	for _, p := range deps {
+		if p.Standard {
+			continue
+		}
+		lp, err := l.load(p.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		lp.Target = targets[p.ImportPath]
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// loader type-checks module packages, resolving module imports recursively
+// and delegating standard-library imports to the source importer. All
+// packages share one FileSet so diagnostic positions are uniform.
+type loader struct {
+	fset   *token.FileSet
+	std    types.Importer
+	listed map[string]listedPkg
+	loaded map[string]*Package
+}
+
+// Import implements types.Importer for the type-checker.
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("import %q not in go list -deps output", path)
+	}
+	if p.Standard {
+		return l.std.Import(path)
+	}
+	lp, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return lp.Types, nil
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*Package, error) {
+	if lp, ok := l.loaded[path]; ok {
+		return lp, nil
+	}
+	p, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q not in go list -deps output", path)
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	lp := &Package{Path: path, Dir: p.Dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = lp
+	return lp, nil
+}

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags range-over-map loops whose bodies are sensitive to
+// iteration order. Go randomizes map iteration, so any order-dependent
+// consumption of a ranged map is a nondeterminism bug in this repo, where
+// every rendered table must be bit-for-bit reproducible. The analyzer
+// flags loop bodies that:
+//
+//   - return or send on a channel (first match wins, so order matters);
+//   - accumulate floats with += or -= (float addition is not associative —
+//     the exact bug fixed in prof.OnSpaceCondemned);
+//   - build strings by concatenation;
+//   - call a function for effect (statement position) with a loop
+//     variable as an argument — the callee observes values in map order;
+//   - append to a slice declared outside the loop without sorting it
+//     afterwards in the same function.
+//
+// Order-insensitive patterns — keyed writes into another map, integer
+// accumulation, max/min reductions, calls whose result feeds a value
+// position — pass untouched.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags order-sensitive iteration over Go maps",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fn.Body)
+			return true
+		})
+	}
+}
+
+// checkMapRanges finds range-over-map statements in body (including ones
+// nested in inner loops and closures) and reports order-sensitive uses.
+// fnScope is the innermost enclosing function body, used to look for
+// post-loop sorts.
+func checkMapRanges(pass *Pass, fnScope *ast.BlockStmt) {
+	ast.Inspect(fnScope, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			checkMapRanges(pass, fl.Body)
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Pkg.Info.Types[rs.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportSensitiveUses(pass, rs, fnScope)
+		return true
+	})
+}
+
+// loopVars collects the objects bound by the range statement's key and
+// value variables.
+func loopVars(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if o := pass.Pkg.Info.Defs[id]; o != nil {
+			vars[o] = true
+		} else if o := pass.Pkg.Info.Uses[id]; o != nil { // `k, v = range m` with existing vars
+			vars[o] = true
+		}
+	}
+	return vars
+}
+
+// usesAny reports whether expr references any of the given objects.
+func usesAny(pass *Pass, expr ast.Node, vars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := pass.Pkg.Info.Uses[id]; o != nil && vars[o] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportSensitiveUses walks the loop body of one range-over-map statement
+// and reports each order-sensitive construct.
+func reportSensitiveUses(pass *Pass, rs *ast.RangeStmt, fnScope *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	vars := loopVars(pass, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			pass.Reportf(s.Pos(), "return inside range over map: result depends on iteration order")
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send inside range over map: delivery order depends on iteration order")
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && callIsOrderSensitive(pass, call, vars) {
+				pass.Reportf(s.Pos(), "call with loop variable inside range over map: callee observes map order")
+			}
+		case *ast.AssignStmt:
+			reportSensitiveAssign(pass, s, rs, vars, fnScope, info)
+		}
+		return true
+	})
+}
+
+// reportSensitiveAssign reports order-sensitive assignment forms inside a
+// range-over-map body.
+func reportSensitiveAssign(pass *Pass, s *ast.AssignStmt, rs *ast.RangeStmt,
+	vars map[types.Object]bool, fnScope *ast.BlockStmt, info *types.Info) {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		t := info.Types[s.Lhs[0]].Type
+		if t == nil {
+			return
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok {
+			return
+		}
+		switch {
+		case b.Info()&types.IsFloat != 0:
+			pass.Reportf(s.Pos(), "float accumulation inside range over map: float addition is not associative, sum depends on iteration order")
+		case s.Tok == token.ADD_ASSIGN && b.Info()&types.IsString != 0:
+			pass.Reportf(s.Pos(), "string concatenation inside range over map: result depends on iteration order")
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range s.Lhs {
+			if i >= len(s.Rhs) {
+				break
+			}
+			// s = s + v style string building.
+			if isStringSelfConcat(info, lhs, s.Rhs[i]) {
+				pass.Reportf(s.Pos(), "string concatenation inside range over map: result depends on iteration order")
+				continue
+			}
+			// x = append(x, ...) into a slice that outlives the loop.
+			if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isAppend(info, call) {
+				obj := rootObject(info, lhs)
+				if obj == nil || vars[obj] || declaredWithin(obj, rs) {
+					continue
+				}
+				if !sortedAfter(pass, obj, rs, fnScope) {
+					pass.Reportf(s.Pos(), "append to %s inside range over map without a later sort: element order depends on iteration order", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// callIsOrderSensitive reports whether a statement-position call passes a
+// loop variable to an effectful callee. Builtins delete/len/cap/print and
+// type conversions are exempt: delete-by-key is order-insensitive and the
+// others are pure.
+func callIsOrderSensitive(pass *Pass, call *ast.CallExpr, vars map[types.Object]bool) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if o := pass.Pkg.Info.Uses[id]; o != nil {
+			if _, isBuiltin := o.(*types.Builtin); isBuiltin {
+				return false
+			}
+			if _, isType := o.(*types.TypeName); isType {
+				return false
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if usesAny(pass, arg, vars) {
+			return true
+		}
+	}
+	// A method call on a loop variable (v.Flush()) is just as effectful.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && usesAny(pass, sel.X, vars) {
+		return true
+	}
+	return false
+}
+
+// isStringSelfConcat matches `s = s + expr` (or `s = expr + s`) on strings.
+func isStringSelfConcat(info *types.Info, lhs, rhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	t := info.Types[lhs].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	lobj := rootObject(info, lhs)
+	return lobj != nil && (rootObject(info, bin.X) == lobj || rootObject(info, bin.Y) == lobj)
+}
+
+// isAppend matches a call to the append builtin.
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves an lvalue-ish expression to its base identifier's
+// object: x, x[i], x.f, *x, &x all resolve to x.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[v]; o != nil {
+				return o
+			}
+			return info.Defs[v]
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortSinks is the set of sorting functions that launder append order.
+var sortSinks = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether obj is passed to a sort function after the
+// range statement, anywhere later in the enclosing function body.
+func sortedAfter(pass *Pass, obj types.Object, rs *ast.RangeStmt, fnScope *ast.BlockStmt) bool {
+	info := pass.Pkg.Info
+	found := false
+	ast.Inspect(fnScope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return !found
+		}
+		fns, ok := sortSinks[pn.Imported().Path()]
+		if !ok || !fns[sel.Sel.Name] {
+			return !found
+		}
+		arg := call.Args[0]
+		if u, isAddr := arg.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+			arg = u.X
+		}
+		if rootObject(info, arg) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,10 @@
+// Package badignore is a gclint test fixture: both suppressions below are
+// malformed (unknown analyzer; missing justification) and must each be
+// reported rather than honored.
+package badignore
+
+//lint:ignore nosuchanalyzer this analyzer does not exist
+func Unknown() {}
+
+//lint:ignore maporder
+func Unjustified() {}

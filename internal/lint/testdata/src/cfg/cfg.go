@@ -1,0 +1,34 @@
+// Package cfg is a gclint test fixture for the cfgread analyzer.
+package cfg
+
+// TuningConfig is an exported Config struct, so its exported fields must
+// all be read somewhere.
+type TuningConfig struct {
+	ReadField   int // read in Use: clean
+	DeadField   int // want: TuningConfig.DeadField is never read
+	WrittenOnly int // want: TuningConfig.WrittenOnly is never read
+	Bumped      int // compound-assigned in Bump, which reads it: clean
+	unexported  int // not exported: out of scope
+}
+
+// settings is unexported, so its fields are out of scope.
+type settings struct {
+	Ignored int
+}
+
+// Knobs is exported but not named *Config, so out of scope.
+type Knobs struct {
+	AlsoIgnored int
+}
+
+// Use reads ReadField.
+func Use(c TuningConfig) int { return c.ReadField + c.unexported }
+
+// Set only stores into WrittenOnly, which does not count as a read.
+func Set(c *TuningConfig) { c.WrittenOnly = 1 }
+
+// Bump compound-assigns Bumped, which reads before writing.
+func Bump(c *TuningConfig) { c.Bumped += 1 }
+
+var _ = settings{}
+var _ = Knobs{}

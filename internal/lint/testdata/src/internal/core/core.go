@@ -1,0 +1,25 @@
+// Package core is a gclint test fixture whose import path ends in
+// internal/core, placing it inside the detrand determinism fence.
+package core
+
+import (
+	"math/rand" // want: import of math/rand
+	"runtime"
+	"time"
+)
+
+// Jitter draws host randomness inside the deterministic core.
+func Jitter() int { return rand.Int() }
+
+// Stamp reads the wall clock inside the deterministic core.
+func Stamp() time.Time {
+	return time.Now() // want: time.Now
+}
+
+// Pause is clean: constructing and comparing durations is deterministic.
+func Pause(d time.Duration) bool { return d > time.Millisecond }
+
+// Workers reads a scheduler-dependent value inside the deterministic core.
+func Workers() int {
+	return runtime.GOMAXPROCS(0) // want: runtime.GOMAXPROCS
+}

@@ -1,0 +1,146 @@
+// Package maporder is a gclint test fixture: each construct annotated
+// with a "want:" comment must produce a maporder diagnostic on that line,
+// and every other construct must stay clean.
+package maporder
+
+import "sort"
+
+// Sink is an effectful consumer used to exercise the call checks.
+type Sink struct{ n int }
+
+// Flush is an effectful method.
+func (s *Sink) Flush() { s.n++ }
+
+func process(v float64) { _ = v }
+
+func score(v float64) int { return int(v) }
+
+// FloatSum accumulates floats in map order.
+func FloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want: float accumulation
+	}
+	return sum
+}
+
+// IntSum is clean: integer addition is associative and commutative.
+func IntSum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// FirstMatch returns in map order.
+func FirstMatch(m map[string]int) string {
+	for k, v := range m {
+		if v > 0 {
+			return k // want: return inside range over map
+		}
+	}
+	return ""
+}
+
+// Concat builds a string in map order.
+func Concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want: string concatenation
+	}
+	return s
+}
+
+// ConcatAssign builds a string in map order via plain assignment.
+func ConcatAssign(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s = s + v // want: string concatenation
+	}
+	return s
+}
+
+// CollectUnsorted appends in map order and never sorts.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: append to keys
+	}
+	return keys
+}
+
+// CollectSorted appends in map order but sorts before returning: clean.
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeyedWrites copies through keyed assignments: clean at any order.
+func KeyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// EffectfulCall hands loop values to an effectful callee in map order.
+func EffectfulCall(m map[string]float64) {
+	for _, v := range m {
+		process(v) // want: callee observes map order
+	}
+}
+
+// MethodCall invokes an effectful method on the loop value in map order.
+func MethodCall(m map[string]*Sink) {
+	for _, s := range m {
+		s.Flush() // want: callee observes map order
+	}
+}
+
+// ValueCall uses a call result in value position: clean.
+func ValueCall(m map[string]float64) {
+	for _, v := range m {
+		_ = score(v)
+	}
+}
+
+// DeleteByKey removes entries by key: order-insensitive, clean.
+func DeleteByKey(m, dead map[string]int) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// SendAll streams entries in map order.
+func SendAll(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want: channel send
+	}
+}
+
+// SuppressedSum carries a justified suppression: no surviving diagnostic.
+func SuppressedSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//lint:ignore maporder fixture exercising justified suppression
+		sum += v
+	}
+	return sum
+}
+
+// Reduce takes a max over the map: plain assignment of a non-string, clean.
+func Reduce(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

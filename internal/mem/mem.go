@@ -179,6 +179,10 @@ func (h *Heap) Space(id SpaceID) *Space {
 	return h.spaces[id]
 }
 
+// NumSpaces returns the number of space ids ever issued, including the
+// reserved nil slot and freed spaces. Valid ids are 1..NumSpaces()-1.
+func (h *Heap) NumSpaces() int { return len(h.spaces) }
+
 // SpaceOf returns the space an address points into.
 func (h *Heap) SpaceOf(a Addr) *Space {
 	id := a.Space()

@@ -13,6 +13,7 @@
 package prof
 
 import (
+	"slices"
 	"sort"
 
 	"tilgc/internal/core"
@@ -141,16 +142,29 @@ func (p *Profiler) OnMove(from, to mem.Addr) {
 }
 
 // OnSpaceCondemned implements core.Profiler: records still tabled in the
-// space did not move out — they are dead.
+// space did not move out — they are dead. Deaths are recorded in ascending
+// offset order: recordDeath accumulates a float age sum, and float addition
+// is not associative, so map iteration order would make profile output
+// depend on the run's hash seeds.
 func (p *Profiler) OnSpaceCondemned(id mem.SpaceID) {
 	t, ok := p.live[id]
 	if !ok {
 		return
 	}
-	for _, rec := range t {
-		p.recordDeath(rec)
+	for _, off := range sortedOffsets(t) {
+		p.recordDeath(t[off])
 	}
 	delete(p.live, id)
+}
+
+// sortedOffsets returns the live-table keys in ascending order.
+func sortedOffsets(t map[uint64]*objRec) []uint64 {
+	offs := make([]uint64, 0, len(t))
+	for off := range t {
+		offs = append(offs, off)
+	}
+	slices.Sort(offs)
+	return offs
 }
 
 // OnLOSDead implements core.Profiler.
@@ -182,11 +196,19 @@ func (p *Profiler) recordDeath(rec *objRec) {
 
 // Finalize treats every object still live as dying at the end of the run,
 // charging its age, as the paper's end-of-run profile accounting does.
-// Call once, after the workload completes.
+// Call once, after the workload completes. Spaces and offsets are visited
+// in ascending order for the same float-summation reason as
+// OnSpaceCondemned.
 func (p *Profiler) Finalize() {
-	for _, t := range p.live {
-		for _, rec := range t {
-			p.recordDeath(rec)
+	ids := make([]mem.SpaceID, 0, len(p.live))
+	for id := range p.live {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		t := p.live[id]
+		for _, off := range sortedOffsets(t) {
+			p.recordDeath(t[off])
 		}
 	}
 	p.live = make(map[mem.SpaceID]map[uint64]*objRec)

@@ -33,9 +33,14 @@ func (b *SSB) Record(addr mem.Addr) {
 	b.meter.Charge(costmodel.Client, costmodel.WriteBarrier)
 }
 
-// Entries returns the buffered field addresses since the last Drain.
-// The collector owns cost accounting for processing them.
-func (b *SSB) Entries() []mem.Addr { return b.entries }
+// Entries returns a copy of the buffered field addresses since the last
+// Drain. The collector owns cost accounting for processing them. A copy is
+// returned because Drain reuses the backing array: a caller holding the
+// internal slice across a Drain/Record cycle would observe the buffer
+// mutating under it (and a caller appending would corrupt the barrier).
+func (b *SSB) Entries() []mem.Addr {
+	return slices.Clone(b.entries)
+}
 
 // Drain empties the buffer (after the collector has processed it).
 func (b *SSB) Drain() {
@@ -83,6 +88,12 @@ func (c *CardTable) CardWords() uint64 { return 1 << c.cardShift }
 // within its space.
 func (c *CardTable) CardBounds(id uint64) (mem.Addr, uint64) {
 	return mem.Addr(id << c.cardShift), 1 << c.cardShift
+}
+
+// Covers reports whether the card containing addr is dirty.
+func (c *CardTable) Covers(addr mem.Addr) bool {
+	_, ok := c.dirty[uint64(addr)>>c.cardShift]
+	return ok
 }
 
 // Cards returns the dirty card ids in ascending address order. The order

@@ -1,0 +1,41 @@
+package rt
+
+import (
+	"testing"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+)
+
+// TestSSBEntriesIsSnapshot is the regression test for the Entries aliasing
+// bug: Entries used to return the internal slice, and because Drain
+// truncates in place and Record appends into the same backing array, a
+// snapshot held across a Drain/Record cycle silently mutated under the
+// holder — exactly the access pattern of the sanitizer's remembered-set
+// pass, which walks the buffer while the collector drains and refills it.
+func TestSSBEntriesIsSnapshot(t *testing.T) {
+	b := NewSSB(costmodel.NewMeter())
+	b.Record(mem.Addr(0x100))
+	b.Record(mem.Addr(0x108))
+
+	snap := b.Entries()
+	b.Drain()
+	b.Record(mem.Addr(0x999))
+
+	if len(snap) != 2 || snap[0] != 0x100 || snap[1] != 0x108 {
+		t.Fatalf("snapshot mutated across Drain/Record: %v", snap)
+	}
+
+	// Appending to a snapshot must not write into the live buffer either.
+	snap2 := b.Entries()
+	_ = append(snap2, mem.Addr(0xdead))
+	b.Record(mem.Addr(0xaaa))
+	got := b.Entries()
+	if len(got) != 2 || got[0] != 0x999 || got[1] != 0xaaa {
+		t.Fatalf("buffer corrupted by snapshot append: %v", got)
+	}
+
+	if b.TotalRecorded() != 4 {
+		t.Fatalf("TotalRecorded = %d, want 4", b.TotalRecorded())
+	}
+}

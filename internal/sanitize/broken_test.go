@@ -1,0 +1,237 @@
+package sanitize_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tilgc/internal/core"
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+	"tilgc/internal/sanitize"
+)
+
+// env bundles the mutator runtime a collector needs, with a root frame
+// exposing pointer slots 1..nRoots.
+type env struct {
+	table *rt.TraceTable
+	meter *costmodel.Meter
+	stack *rt.Stack
+}
+
+func newEnv(nRoots int) *env {
+	table := rt.NewTraceTable()
+	meter := costmodel.NewMeter()
+	stack := rt.NewStack(table, meter)
+	slots := make([]rt.SlotTrace, nRoots+1)
+	for i := 1; i <= nRoots; i++ {
+		slots[i] = rt.PTR()
+	}
+	stack.Call(table.Register("sanitize-root", slots, nil))
+	return &env{table: table, meter: meter, stack: stack}
+}
+
+func newGen(e *env, cfg core.GenConfig) core.Collector {
+	if cfg.BudgetWords == 0 {
+		cfg.BudgetWords = 1 << 20
+	}
+	if cfg.NurseryWords == 0 {
+		cfg.NurseryWords = 512
+	}
+	return core.NewGenerational(e.stack, e.meter, nil, cfg)
+}
+
+// consList builds a list of n cons cells (record: [value, next-ptr]) with
+// the head parked in root slot `slot`.
+func consList(c core.Collector, e *env, slot, n int, site obj.SiteID) {
+	e.stack.SetSlot(slot, uint64(mem.Nil))
+	for i := 0; i < n; i++ {
+		cell := c.Alloc(obj.Record, 2, site, 0b10)
+		c.InitField(cell, 0, uint64(i))
+		c.InitField(cell, 1, e.stack.Slot(slot))
+		e.stack.SetSlot(slot, uint64(cell))
+	}
+}
+
+// TestBrokenCollectors corrupts one invariant at a time — going around the
+// collector's own APIs, the way a real collector bug would — and checks
+// that exactly the matching sanitizer pass reports it and the other passes
+// stay quiet. The quiet half is as load-bearing as the loud half: a pass
+// that misfires on someone else's corruption would bury real signals.
+func TestBrokenCollectors(t *testing.T) {
+	cases := []struct {
+		pass    string
+		build   func(e *env) core.Collector
+		corrupt func(t *testing.T, c core.Collector, e *env)
+	}{
+		{
+			// A pointer-mask bit at an index >= the record length: object
+			// traversal never looks there, so only the structural pass sees it.
+			pass:  "headers",
+			build: func(e *env) core.Collector { return newGen(e, core.GenConfig{}) },
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				a := c.Alloc(obj.Record, 2, 1, 0b01)
+				c.InitField(a, 0, uint64(mem.Nil))
+				e.stack.SetSlot(1, uint64(a))
+				o := obj.Decode(c.Heap(), a)
+				c.Heap().Store(o.PayloadAddr(0)-1, 0b100)
+			},
+		},
+		{
+			// A root pointing past a live space's allocation frontier — a
+			// dangling pointer the next evacuation would copy garbage from.
+			pass:  "fromspace",
+			build: func(e *env) core.Collector { return newGen(e, core.GenConfig{}) },
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				a := c.Alloc(obj.Record, 2, 1, 0)
+				sp := c.Heap().SpaceOf(a)
+				e.stack.SetSlot(2, uint64(mem.MakeAddr(a.Space(), sp.Used()+64)))
+			},
+		},
+		{
+			// An old-to-young edge written without the barrier: both objects
+			// are live and well-formed, so only remembered-set completeness
+			// can notice the next minor GC would miss this edge.
+			pass:  "remembered",
+			build: func(e *env) core.Collector { return newGen(e, core.GenConfig{}) },
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				consList(c, e, 1, 5, 1)
+				c.Collect(false) // promote the list (immediate promotion)
+				young := c.Alloc(obj.Record, 1, 2, 0)
+				c.InitField(young, 0, 7)
+				e.stack.SetSlot(2, uint64(young))
+				head := mem.Addr(e.stack.Slot(1))
+				o := obj.Decode(c.Heap(), head)
+				c.Heap().Store(o.PayloadAddr(1), uint64(young))
+			},
+		},
+		{
+			// An orphan marker stub in a collector that has markers disabled:
+			// returning through it would panic in the stub dispatcher.
+			pass:  "markers",
+			build: func(e *env) core.Collector { return newGen(e, core.GenConfig{}) },
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				fi := e.table.Register("victim", make([]rt.SlotTrace, 3), nil)
+				e.stack.Call(fi)
+				e.stack.SetRawSlot(e.stack.FrameBase(1), uint64(rt.StubKey))
+			},
+		},
+		{
+			// A pretenured-region object whose site the policy never tenured —
+			// the silent misclassification the region invariant exists to catch.
+			pass: "pretenure",
+			build: func(e *env) core.Collector {
+				pol := core.NewPretenurePolicy(map[obj.SiteID]core.PretenureDecision{3: {}})
+				return newGen(e, core.GenConfig{Pretenure: pol})
+			},
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				a := c.Alloc(obj.Record, 2, 3, 0)
+				c.InitField(a, 0, 1)
+				c.InitField(a, 1, 2)
+				e.stack.SetSlot(1, uint64(a))
+				c.Heap().Store(a, obj.PackHeader(obj.Record, 2, 9))
+			},
+		},
+		{
+			// Statistics that stopped reconciling: more major collections
+			// than collections, as a dropped counter increment would produce.
+			pass:  "costs",
+			build: func(e *env) core.Collector { return newGen(e, core.GenConfig{}) },
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				consList(c, e, 1, 10, 1)
+				c.Stats().NumMajor = c.Stats().NumGC + 3
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.pass, func(t *testing.T) {
+			e := newEnv(8)
+			c := tc.build(e)
+			w := sanitize.Wrap(c, sanitize.Options{})
+			if vs := w.Check(); len(vs) != 0 {
+				t.Fatalf("violations before corruption: %v", vs)
+			}
+			tc.corrupt(t, c, e)
+			vs := w.Check()
+			if len(vs) == 0 {
+				t.Fatalf("%s corruption went undetected", tc.pass)
+			}
+			for _, v := range vs {
+				if v.Pass != tc.pass {
+					t.Errorf("pass %q misfired on %s corruption: %s", v.Pass, tc.pass, v)
+				}
+			}
+		})
+	}
+}
+
+// TestWrapperAutoCheck verifies the decorator actually runs the passes
+// after operations that completed collections, and routes violations to
+// the OnViolation hook.
+func TestWrapperAutoCheck(t *testing.T) {
+	e := newEnv(4)
+	c := newGen(e, core.GenConfig{})
+	var fired [][]sanitize.Violation
+	w := sanitize.Wrap(c, sanitize.Options{OnViolation: func(vs []sanitize.Violation) {
+		fired = append(fired, vs)
+	}})
+	consList(w, e, 1, 50, 1)
+	before := w.Checks()
+	c.Stats().NumMajor = c.Stats().NumGC + 7 // survives the upcoming minor GC
+	w.Collect(false)
+	if w.Checks() == before {
+		t.Fatal("Collect through the wrapper performed no check")
+	}
+	if len(fired) == 0 {
+		t.Fatal("OnViolation not called for a corrupted collector")
+	}
+	for _, v := range fired[0] {
+		if v.Pass != "costs" {
+			t.Errorf("unexpected violation: %s", v)
+		}
+	}
+}
+
+// TestWrapperPanicsByDefault verifies that without an OnViolation hook a
+// failed automatic check panics with the rendered violation list.
+func TestWrapperPanicsByDefault(t *testing.T) {
+	e := newEnv(4)
+	c := newGen(e, core.GenConfig{})
+	w := sanitize.Wrap(c, sanitize.Options{})
+	consList(w, e, 1, 50, 1)
+	c.Stats().NumMajor = c.Stats().NumGC + 7
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from automatic check")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "sanitize:") || !strings.Contains(msg, "costs") {
+			t.Fatalf("panic message missing violation detail: %s", msg)
+		}
+	}()
+	w.Collect(false)
+}
+
+// TestCheckOnUninspectableCollector verifies the sanitizer reports — not
+// ignores — a collector it cannot see inside.
+func TestCheckOnUninspectableCollector(t *testing.T) {
+	vs := sanitize.Check(opaqueCollector{})
+	if len(vs) != 1 || vs[0].Pass != "inspect" {
+		t.Fatalf("got %v, want a single inspect violation", vs)
+	}
+}
+
+// opaqueCollector implements core.Collector but not core.Inspectable.
+type opaqueCollector struct{}
+
+func (opaqueCollector) Alloc(obj.Kind, uint64, obj.SiteID, uint64) mem.Addr { return mem.Nil }
+func (opaqueCollector) LoadField(mem.Addr, uint64) uint64                   { return 0 }
+func (opaqueCollector) StoreField(mem.Addr, uint64, uint64, bool)           {}
+func (opaqueCollector) InitField(mem.Addr, uint64, uint64)                  {}
+func (opaqueCollector) Collect(bool)                                        {}
+func (opaqueCollector) Stats() *core.GCStats                                { return &core.GCStats{} }
+func (opaqueCollector) Heap() *mem.Heap                                     { return nil }
+func (opaqueCollector) Name() string                                        { return "opaque" }

@@ -1,0 +1,135 @@
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+
+	"tilgc/internal/core"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// Options configures a sanitizer wrapper.
+type Options struct {
+	// Passes selects which invariant passes run (nil means all).
+	Passes []string
+	// EveryN runs the passes after every Nth collection (default 1:
+	// after every collection). Checks also run on explicit Check calls
+	// regardless of EveryN.
+	EveryN int
+	// OnViolation receives the violations of one failed check. When nil,
+	// a failed check panics with the rendered violations — the loudest
+	// possible signal that a collector invariant broke mid-run.
+	OnViolation func([]Violation)
+}
+
+// Wrapper decorates a Collector with automatic integrity checking: after
+// any operation that completed one or more collections (Alloc may trigger
+// them internally), the configured passes re-verify the heap. The wrapper
+// delegates Name, Stats, and all cost-charged operations unchanged, so a
+// sanitized run produces byte-identical tables to an unwrapped one.
+type Wrapper struct {
+	inner  core.Collector
+	opts   Options
+	lastGC uint64 // inner NumGC at the last check boundary
+	due    uint64 // collections observed since the last automatic check
+	checks uint64 // total checks performed
+}
+
+// Wrap decorates c with the sanitizer. The collector must be inspectable
+// (all collectors in internal/core are); if it is not, every check reports
+// a single "inspect" violation rather than silently passing.
+func Wrap(c core.Collector, opts Options) *Wrapper {
+	if opts.EveryN <= 0 {
+		opts.EveryN = 1
+	}
+	return &Wrapper{inner: c, opts: opts, lastGC: c.Stats().NumGC}
+}
+
+// Unwrap returns the decorated collector.
+func (w *Wrapper) Unwrap() core.Collector { return w.inner }
+
+// Checks returns the number of integrity checks performed so far.
+func (w *Wrapper) Checks() uint64 { return w.checks }
+
+// Check runs the configured passes immediately and returns the violations
+// (nil when clean) without invoking OnViolation or panicking — the
+// on-demand entry point for tests and tools.
+func (w *Wrapper) Check() []Violation {
+	w.checks++
+	return CheckPasses(w.inner, w.opts.Passes)
+}
+
+// afterOp runs the automatic check when enough collections have completed.
+func (w *Wrapper) afterOp() {
+	n := w.inner.Stats().NumGC
+	if n == w.lastGC {
+		return
+	}
+	w.due += n - w.lastGC
+	w.lastGC = n
+	if w.due < uint64(w.opts.EveryN) {
+		return
+	}
+	w.due = 0
+	w.checks++
+	vs := CheckPasses(w.inner, w.opts.Passes)
+	if len(vs) == 0 {
+		return
+	}
+	if w.opts.OnViolation != nil {
+		w.opts.OnViolation(vs)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sanitize: %d violation(s) in %s after GC %d:", len(vs), w.inner.Name(), n)
+	for _, v := range vs {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	panic(b.String())
+}
+
+// Alloc implements core.Collector.
+func (w *Wrapper) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
+	a := w.inner.Alloc(k, length, site, mask)
+	w.afterOp()
+	return a
+}
+
+// LoadField implements core.Collector.
+func (w *Wrapper) LoadField(a mem.Addr, i uint64) uint64 {
+	return w.inner.LoadField(a, i)
+}
+
+// StoreField implements core.Collector.
+func (w *Wrapper) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
+	w.inner.StoreField(a, i, v, isPtr)
+}
+
+// InitField implements core.Collector.
+func (w *Wrapper) InitField(a mem.Addr, i uint64, v uint64) {
+	w.inner.InitField(a, i, v)
+}
+
+// Collect implements core.Collector.
+func (w *Wrapper) Collect(major bool) {
+	w.inner.Collect(major)
+	w.afterOp()
+}
+
+// Stats implements core.Collector.
+func (w *Wrapper) Stats() *core.GCStats { return w.inner.Stats() }
+
+// Heap implements core.Collector.
+func (w *Wrapper) Heap() *mem.Heap { return w.inner.Heap() }
+
+// Name implements core.Collector: the inner name, unchanged, so rendered
+// tables are identical with and without the sanitizer.
+func (w *Wrapper) Name() string { return w.inner.Name() }
+
+// Inspect delegates to the decorated collector so Check and nested
+// tooling see through the wrapper.
+func (w *Wrapper) Inspect() core.Inspection {
+	return w.inner.(core.Inspectable).Inspect()
+}
