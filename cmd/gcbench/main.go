@@ -6,6 +6,9 @@
 //	gcbench -table 5 -repeat 0.05  # Table 5 at a larger workload scale
 //	gcbench -table 5 -parallel 8   # fan runs out over 8 workers
 //	gcbench -table 4 -sanitize     # verify heap invariants after every GC
+//	gcbench -table 5 -trace t.jsonl         # capture a per-run GC trace
+//	gcbench -table 5 -trace t.json -trace-format chrome  # Perfetto trace
+//	gcbench -table 5 -metrics      # per-run metrics table after the sweep
 //	gcbench -figure 2              # Figure 2 heap profiles
 //	gcbench -experiment elide      # §7.2 scan-elision extension
 //	gcbench -experiment all        # everything, in paper order
@@ -13,8 +16,10 @@
 //
 // Experiment runs are deterministic and independent, so -parallel only
 // changes wall-clock time: the rendered tables are byte-identical at
-// every worker count. -progress streams per-run events to stderr, which
-// keeps long sweeps observable without disturbing the table on stdout.
+// every worker count — and so are captured trace files, whose timestamps
+// are simulated cycles, never wall clock. -progress streams per-run
+// events to stderr, which keeps long sweeps observable without
+// disturbing the table on stdout.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"runtime"
 
 	"tilgc/gcsim"
+	"tilgc/internal/trace"
 )
 
 func main() {
@@ -39,8 +45,19 @@ func main() {
 	progress := flag.Bool("progress", false, "stream per-run progress to stderr")
 	sanitizeRuns := flag.Bool("sanitize", false,
 		"run the heap-integrity sanitizer after every collection (slower; output is identical, violations panic)")
+	traceOut := flag.String("trace", "",
+		"capture a per-run GC trace of every experiment run to FILE (cycle-timestamped, byte-identical under -parallel)")
+	traceFormat := flag.String("trace-format", "jsonl",
+		"trace sink format: jsonl (schema-versioned, gctrace-readable) or chrome (Perfetto-loadable)")
+	metrics := flag.Bool("metrics", false,
+		"print every run's metrics registry (counters, gauges, pause histogram) after the experiment")
 	list := flag.Bool("list", false, "list benchmarks and experiments")
 	flag.Parse()
+
+	if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+		fmt.Fprintf(os.Stderr, "gcbench: unknown -trace-format %q (want jsonl or chrome)\n", *traceFormat)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("Benchmarks:")
@@ -58,6 +75,17 @@ func main() {
 	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns}
 	if *progress {
 		opts.Events = progressWriter
+	}
+	// Trace capture: the experiment renderers batch runs through the
+	// harness internally, so the sink is how the per-run recorders reach
+	// us. Batches arrive in the order the experiment issues them and each
+	// batch is in input order, so the assembled file is deterministic at
+	// every -parallel level.
+	var traceRuns []*trace.RunData
+	if *traceOut != "" || *metrics {
+		opts.TraceSink = func(batch []*trace.RunData) {
+			traceRuns = append(traceRuns, batch...)
+		}
 	}
 
 	scale := gcsim.Scale{Repeat: *repeat, Depth: *depth}
@@ -84,14 +112,47 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if opts.TraceSink != nil {
+		f := trace.NewFile(traceRuns...)
+		if *traceOut != "" {
+			if err := writeTrace(f, *traceOut, *traceFormat); err != nil {
+				fmt.Fprintln(os.Stderr, "gcbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "gcbench: wrote %s trace of %d runs to %s\n",
+				*traceFormat, len(f.Runs), *traceOut)
+		}
+		if *metrics {
+			fmt.Println()
+			if err := f.WriteMetrics(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "gcbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTrace renders the assembled trace file in the requested format.
+func writeTrace(f *trace.File, path, format string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "chrome" {
+		err = f.WriteChrome(out)
+	} else {
+		err = f.WriteJSONL(out)
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // progressWriter renders one run event per line on stderr.
 func progressWriter(e gcsim.RunEvent) {
-	label := fmt.Sprintf("%s/%s", e.Config.Workload, e.Config.Kind)
-	if e.Config.K > 0 {
-		label += fmt.Sprintf(" k=%g", e.Config.K)
-	}
+	label := e.Config.Label()
 	switch e.Kind {
 	case gcsim.EventRunStarted:
 		fmt.Fprintf(os.Stderr, "[%3d/%3d] start   %s\n", e.Index+1, e.Total, label)
@@ -100,7 +161,8 @@ func progressWriter(e gcsim.RunEvent) {
 			fmt.Fprintf(os.Stderr, "[%3d/%3d] FAILED  %s: %v\n", e.Index+1, e.Total, label, e.Err)
 			return
 		}
-		fmt.Fprintf(os.Stderr, "[%3d/%3d] done    %-40s %4d GCs  max-pause %.4fs  total %.3fs\n",
-			e.Index+1, e.Total, label, e.GCs, e.MaxPauseSec, e.TotalSec)
+		fmt.Fprintf(os.Stderr, "[%3d/%3d] done    %-40s %4d GCs  max-pause %.4fs  total %.3fs  (client %.3fs  gc-stack %.3fs  gc-copy %.3fs)\n",
+			e.Index+1, e.Total, label, e.GCs, e.MaxPauseSec, e.TotalSec,
+			e.Times.Client.Seconds(), e.Times.GCStack.Seconds(), e.Times.GCCopy.Seconds())
 	}
 }

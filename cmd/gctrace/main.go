@@ -1,0 +1,164 @@
+// Command gctrace inspects and converts GC trace files captured with
+// gcbench -trace (or any harness run with tracing enabled).
+//
+// Usage:
+//
+//	gctrace summary [-top N] FILE    # phase breakdown, marker hit rate,
+//	                                 # pause histogram, per-site tenure table
+//	gctrace metrics FILE             # per-run metrics registry dump
+//	gctrace check FILE               # parse + validate; exits non-zero on
+//	                                 # schema or reconciliation failure
+//	gctrace convert -to chrome [-o OUT] FILE   # JSONL -> Perfetto JSON
+//
+// FILE is a schema-versioned JSONL trace; "-" reads stdin. Chrome-format
+// traces are a write-only sink (load them in Perfetto / chrome://tracing);
+// convert accepts only JSONL input.
+//
+// All quantities are simulated cycles from the cost model, so output for
+// a given trace is byte-identical everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tilgc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gctrace: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gctrace summary [-top N] FILE              human-readable trace digest
+  gctrace metrics FILE                       per-run metrics registry dump
+  gctrace check FILE                         validate schema + reconciliation
+  gctrace convert -to FORMAT [-o OUT] FILE   convert (FORMAT: jsonl, chrome)
+
+FILE is a JSONL trace from 'gcbench -trace'; "-" reads stdin.`)
+}
+
+// readFile parses the JSONL trace named by the sole positional argument.
+func readFile(fs *flag.FlagSet) (*trace.File, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("want exactly one trace file argument, got %d", fs.NArg())
+	}
+	name := fs.Arg(0)
+	var in io.Reader
+	if name == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		in = f
+	}
+	tf, err := trace.ReadJSONL(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return tf, nil
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("gctrace summary", flag.ExitOnError)
+	top := fs.Int("top", 5, "number of longest pauses to list per run")
+	fs.Parse(args)
+	f, err := readFile(fs)
+	if err != nil {
+		return err
+	}
+	return f.WriteSummary(os.Stdout, *top)
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("gctrace metrics", flag.ExitOnError)
+	fs.Parse(args)
+	f, err := readFile(fs)
+	if err != nil {
+		return err
+	}
+	return f.WriteMetrics(os.Stdout)
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("gctrace check", flag.ExitOnError)
+	fs.Parse(args)
+	f, err := readFile(fs)
+	if err != nil {
+		return err
+	}
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	events := 0
+	for _, d := range f.Runs {
+		events += len(d.Events)
+	}
+	fmt.Printf("ok: schema %d, %d runs, %d events; spans paired, phase cycles reconcile with meter totals\n",
+		f.Schema, len(f.Runs), events)
+	return nil
+}
+
+func cmdConvert(args []string) (err error) {
+	fs := flag.NewFlagSet("gctrace convert", flag.ExitOnError)
+	to := fs.String("to", "chrome", "output format: jsonl or chrome")
+	out := fs.String("o", "-", "output file (\"-\" = stdout)")
+	fs.Parse(args)
+	if *to != "jsonl" && *to != "chrome" {
+		return fmt.Errorf("unknown -to format %q (want jsonl or chrome)", *to)
+	}
+	f, err := readFile(fs)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := of.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = of
+	}
+	if *to == "chrome" {
+		err = f.WriteChrome(w)
+	} else {
+		err = f.WriteJSONL(w)
+	}
+	return err
+}

@@ -6,6 +6,7 @@ import (
 	"tilgc/internal/costmodel"
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
+	"tilgc/internal/trace"
 )
 
 // evacuator implements Cheney's algorithm over the simulated heap: objects
@@ -36,6 +37,10 @@ type evacuator struct {
 	// tenure, so the collector keeps them in a sticky remembered set.
 	isYoung func(mem.SpaceID) bool
 	sticky  *[]mem.Addr
+	// tr receives per-site copy telemetry (nil-safe); tenured classifies
+	// destination spaces as tenured for the promotion counters.
+	tr      *trace.Recorder
+	tenured func(mem.SpaceID) bool
 
 	scans    []spaceScan // Cheney frontiers, one per destination space
 	losQueue []mem.Addr  // marked large objects awaiting field scan
@@ -118,6 +123,7 @@ func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.CopyWord, size)
 	e.stats.BytesCopied += size * mem.WordSize
 	e.stats.ObjectsCopied++
+	e.tr.CopySite(o.Site, size, e.tenured != nil && e.tenured(dst.Space()))
 	if e.postCopy != nil {
 		e.postCopy(dst, o)
 	}

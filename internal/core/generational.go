@@ -7,6 +7,7 @@ import (
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
 	"tilgc/internal/rt"
+	"tilgc/internal/trace"
 )
 
 // GenConfig parameterizes the two-generation collector of §2.1 and its
@@ -48,6 +49,9 @@ type GenConfig struct {
 	UseCardTable bool
 	// CardShift is log2 words per card when UseCardTable is set.
 	CardShift uint
+	// Trace, when non-nil, receives phase spans and per-site telemetry.
+	// Tracing charges nothing to the meter.
+	Trace *trace.Recorder
 }
 
 func (c *GenConfig) setDefaults() {
@@ -80,6 +84,7 @@ type Generational struct {
 	stack *rt.Stack
 	meter *costmodel.Meter
 	prof  Profiler
+	tr    *trace.Recorder
 
 	scanner *StackScanner
 	los     *LOS
@@ -111,7 +116,7 @@ type Generational struct {
 func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg GenConfig) *Generational {
 	cfg.setDefaults()
 	heap := mem.NewHeap()
-	c := &Generational{cfg: cfg, heap: heap, stack: stack, meter: meter, prof: prof}
+	c := &Generational{cfg: cfg, heap: heap, stack: stack, meter: meter, prof: prof, tr: cfg.Trace}
 	c.scanner = NewStackScanner(stack, meter, &c.stats, cfg.MarkerN)
 	c.scanner.SetMarkerPolicy(cfg.MarkerPolicy)
 	c.los = NewLOS(heap, meter, &c.stats)
@@ -212,6 +217,7 @@ func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask ui
 			c.Collect(true)
 		}
 		a := c.los.Alloc(k, length, site, mask)
+		c.tr.AllocSite(site, size, false)
 		if c.prof != nil {
 			c.prof.OnAlloc(a, site, k, size)
 		}
@@ -232,6 +238,7 @@ func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask ui
 				size, c.cfg.NurseryWords))
 		}
 	}
+	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
 		c.prof.OnAlloc(a, site, k, size)
 	}
@@ -273,6 +280,7 @@ func (c *Generational) allocPretenured(k obj.Kind, length uint64, site obj.SiteI
 	}
 	c.pretenured.add(a.Space(), a.Offset(), size)
 	c.stats.Pretenured++
+	c.tr.AllocSite(site, size, true)
 	if c.prof != nil {
 		c.prof.OnAlloc(a, site, k, size)
 	}
@@ -341,9 +349,17 @@ func (c *Generational) Collect(major bool) {
 func (c *Generational) minorGC() {
 	c.inGC = true
 	defer func() { c.inGC = false }()
+	c.tr.BeginGC(false)
+	statsBefore := c.stats
 	pauseStart := c.meter.GC()
-	defer func() { c.recordPause(pauseStart) }()
+	// The deferred close covers an escalated major too: its phases are
+	// emitted inside this still-open collection span.
+	defer func() {
+		c.recordPause(pauseStart)
+		c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
+	}()
 	c.stats.NumGC++
+	c.tr.BeginPhase(trace.PhaseSetup)
 	c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
 	c.scanner.NoteCollection()
 	c.ensureTenured(c.nursery.Used() + c.agingUsed() + 64)
@@ -360,6 +376,9 @@ func (c *Generational) minorGC() {
 	}
 	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof,
 		condemned, c.ten, c.los)
+	ev.tr = c.tr
+	tenID := c.ten.ID()
+	ev.tenured = func(id mem.SpaceID) bool { return id == tenID }
 	var oldSticky []mem.Addr
 	if agingTo != nil {
 		ev.addDest(agingTo)
@@ -381,22 +400,32 @@ func (c *Generational) minorGC() {
 		}
 	}
 
+	c.tr.EndPhase(trace.PhaseSetup)
+
 	// Roots: the (possibly cached) stack scan, the remembered set from
 	// the write barrier, the sticky old-to-aging set, the pretenured
 	// regions, and fresh large objects.
+	c.tr.BeginPhase(trace.PhaseRoots)
 	c.scanner.Scan(true, func(loc RootLoc) { c.forwardRoot(ev, loc) })
+	c.tr.EndPhase(trace.PhaseRoots)
+	c.tr.BeginPhase(trace.PhaseRemSet)
 	for _, fa := range oldSticky {
 		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
 		c.forwardIfYoung(ev, fa, c.nursery.ID())
 	}
 	c.processBarrier(ev)
+	c.tr.EndPhase(trace.PhaseRemSet)
+	c.tr.BeginPhase(trace.PhasePretenured)
 	c.scanPretenuredRegions(ev)
 	for _, a := range c.los.Fresh() {
 		c.scanForYoung(ev, a)
 	}
 	c.los.TakeFresh()
+	c.tr.EndPhase(trace.PhasePretenured)
 
+	c.tr.BeginPhase(trace.PhaseCopy)
 	ev.drain()
+	c.tr.EndPhase(trace.PhaseCopy)
 	if c.prof != nil {
 		c.prof.OnSpaceCondemned(c.nursery.ID())
 		c.prof.OnGCEnd()
@@ -549,11 +578,18 @@ func (c *Generational) majorGC() {
 	c.inGC = true
 	defer func() { c.inGC = wasInGC }()
 	if !wasInGC {
+		c.tr.BeginGC(true)
+		statsBefore := c.stats
 		pauseStart := c.meter.GC()
-		defer func() { c.recordPause(pauseStart) }()
+		defer func() {
+			c.recordPause(pauseStart)
+			c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
+		}()
 		c.stats.NumGC++
+		c.tr.BeginPhase(trace.PhaseSetup)
 		c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
 		c.scanner.NoteCollection()
+		c.tr.EndPhase(trace.PhaseSetup)
 	}
 	c.stats.NumMajor++
 
@@ -569,10 +605,18 @@ func (c *Generational) majorGC() {
 	}
 	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof,
 		condemned, to, c.los)
+	ev.tr = c.tr
+	ev.tenured = func(id mem.SpaceID) bool { return id == toID }
 
+	c.tr.BeginPhase(trace.PhaseRoots)
 	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
+	c.tr.EndPhase(trace.PhaseRoots)
+	c.tr.BeginPhase(trace.PhaseCopy)
 	ev.drain()
+	c.tr.EndPhase(trace.PhaseCopy)
+	c.tr.BeginPhase(trace.PhaseSweep)
 	c.los.Sweep(c.prof)
+	c.tr.EndPhase(trace.PhaseSweep)
 	c.los.TakeFresh()
 	if c.prof != nil {
 		c.prof.OnSpaceCondemned(c.nursery.ID())

@@ -7,6 +7,7 @@ import (
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
 	"tilgc/internal/rt"
+	"tilgc/internal/trace"
 )
 
 // SemispaceConfig parameterizes the baseline semispace collector.
@@ -28,6 +29,9 @@ type SemispaceConfig struct {
 	MarkerN int
 	// InitialWords sizes the first semispace; zero picks a small default.
 	InitialWords uint64
+	// Trace, when non-nil, receives phase spans and per-site telemetry.
+	// Tracing charges nothing to the meter.
+	Trace *trace.Recorder
 }
 
 func (c *SemispaceConfig) setDefaults() {
@@ -53,6 +57,7 @@ type Semispace struct {
 	stack *rt.Stack
 	meter *costmodel.Meter
 	prof  Profiler
+	tr    *trace.Recorder
 
 	scanner *StackScanner
 	los     *LOS
@@ -66,7 +71,7 @@ type Semispace struct {
 func NewSemispace(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg SemispaceConfig) *Semispace {
 	cfg.setDefaults()
 	heap := mem.NewHeap()
-	c := &Semispace{cfg: cfg, heap: heap, stack: stack, meter: meter, prof: prof}
+	c := &Semispace{cfg: cfg, heap: heap, stack: stack, meter: meter, prof: prof, tr: cfg.Trace}
 	c.scanner = NewStackScanner(stack, meter, &c.stats, cfg.MarkerN)
 	c.los = NewLOS(heap, meter, &c.stats)
 	if cfg.InitialWords > cfg.BudgetWords/2 {
@@ -103,6 +108,7 @@ func (c *Semispace) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint6
 			c.Collect(true)
 		}
 		a := c.los.Alloc(k, length, site, mask)
+		c.tr.AllocSite(site, size, false)
 		if c.prof != nil {
 			c.prof.OnAlloc(a, site, k, size)
 		}
@@ -124,6 +130,7 @@ func (c *Semispace) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint6
 			}
 		}
 	}
+	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
 		c.prof.OnAlloc(a, site, k, size)
 	}
@@ -170,6 +177,8 @@ func (c *Semispace) InitField(a mem.Addr, i uint64, v uint64) {
 // Collect implements Collector: a full copying collection with Cheney's
 // algorithm, followed by the r'/r resize.
 func (c *Semispace) Collect(bool) {
+	c.tr.BeginGC(false)
+	statsBefore := c.stats
 	pauseStart := c.meter.GC()
 	defer func() {
 		pause := uint64(c.meter.GC() - pauseStart)
@@ -177,8 +186,10 @@ func (c *Semispace) Collect(bool) {
 		if pause > c.stats.MaxPauseCycles {
 			c.stats.MaxPauseCycles = pause
 		}
+		c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
 	}()
 	c.stats.NumGC++
+	c.tr.BeginPhase(trace.PhaseSetup)
 	c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
 	c.scanner.NoteCollection()
 	c.los.ClearMarks()
@@ -190,10 +201,18 @@ func (c *Semispace) Collect(bool) {
 	// The survivors cannot exceed what was allocated in from-space.
 	to := c.heap.ReplaceSpace(toID, c.cur.Used())
 	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof, []mem.SpaceID{fromID}, to, c.los)
+	ev.tr = c.tr
+	c.tr.EndPhase(trace.PhaseSetup)
 
+	c.tr.BeginPhase(trace.PhaseRoots)
 	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
+	c.tr.EndPhase(trace.PhaseRoots)
+	c.tr.BeginPhase(trace.PhaseCopy)
 	ev.drain()
+	c.tr.EndPhase(trace.PhaseCopy)
+	c.tr.BeginPhase(trace.PhaseSweep)
 	c.los.Sweep(c.prof)
+	c.tr.EndPhase(trace.PhaseSweep)
 	c.los.TakeFresh()
 	if c.prof != nil {
 		c.prof.OnSpaceCondemned(fromID)

@@ -1,0 +1,23 @@
+package core
+
+import "tilgc/internal/trace"
+
+// gcCounters derives one collection's trace counter deltas from the stats
+// snapshot taken when the collection span opened. A minor collection that
+// escalates to a major keeps its span open across the escalation, so the
+// deltas cover both.
+func gcCounters(before, after *GCStats) trace.GCCounters {
+	return trace.GCCounters{
+		Majors:        after.NumMajor - before.NumMajor,
+		FramesDecoded: after.FramesDecoded - before.FramesDecoded,
+		FramesReused:  after.FramesReused - before.FramesReused,
+		MarkersPlaced: after.MarkersPlaced - before.MarkersPlaced,
+		RootsFound:    after.RootsFound - before.RootsFound,
+		BytesCopied:   after.BytesCopied - before.BytesCopied,
+		BytesScanned:  after.BytesScanned - before.BytesScanned,
+		ObjectsCopied: after.ObjectsCopied - before.ObjectsCopied,
+		SSBProcessed:  after.SSBProcessed - before.SSBProcessed,
+		LOSSwept:      after.LOSSwept - before.LOSSwept,
+		Pretenured:    after.Pretenured - before.Pretenured,
+	}
+}

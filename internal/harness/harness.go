@@ -37,6 +37,7 @@ import (
 	"tilgc/internal/prof"
 	"tilgc/internal/rt"
 	"tilgc/internal/sanitize"
+	"tilgc/internal/trace"
 	"tilgc/internal/workload"
 )
 
@@ -110,6 +111,20 @@ type RunConfig struct {
 	// collection and a violation panics. Results are byte-identical to an
 	// unsanitized run; only wall-clock time changes.
 	Sanitize bool
+	// Trace attaches a telemetry recorder (internal/trace) to this run:
+	// phase spans, pause histograms, and per-site counters, exposed as
+	// RunResult.Trace. Tracing charges nothing to the meter, so a traced
+	// run measures exactly the same simulated times as an untraced one.
+	Trace bool
+}
+
+// Label names the run for trace output and progress lines.
+func (c RunConfig) Label() string {
+	s := fmt.Sprintf("%s/%s", c.Workload, c.Kind)
+	if c.K > 0 {
+		s += fmt.Sprintf(" k=%g", c.K)
+	}
+	return s
 }
 
 // RunResult carries everything the tables need from one run.
@@ -120,7 +135,8 @@ type RunResult struct {
 	Stats    core.GCStats
 	Updates  uint64 // barriered pointer updates (Table 2)
 	MaxDepth int
-	Profiler *prof.Profiler // non-nil when Config.Profile
+	Profiler *prof.Profiler  // non-nil when Config.Profile
+	Trace    *trace.Recorder // non-nil when Config.Trace; sealed by Finish
 	Policy   *core.PretenurePolicy
 }
 
@@ -284,9 +300,21 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	stack := rt.NewStack(table, meter)
 	var profiler *prof.Profiler
 	var profHook core.Profiler
-	if cfg.Profile {
+	if cfg.Profile || cfg.Trace {
+		// Traced runs borrow the profiler's shadow tables for per-site
+		// death accounting; the profiler charges nothing to the meter, so
+		// attaching it does not perturb the simulated measurements.
 		profiler = prof.New(w.Sites())
 		profHook = profiler
+	}
+	var rec *trace.Recorder
+	if cfg.Trace {
+		rec = trace.NewRecorder(meter)
+		rec.SetSiteNames(w.Sites())
+		stack.SetTracer(rec)
+		profiler.SetDeathSink(func(site obj.SiteID, bytes uint64) {
+			rec.DeadSite(site, bytes/mem.WordSize)
+		})
 	}
 
 	var col core.Collector
@@ -295,12 +323,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	case KindSemispace:
 		col = core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
 			BudgetWords: budget,
+			Trace:       rec,
 		})
 		updates = func() uint64 { return 0 }
 	default:
 		gcfg := core.GenConfig{
 			BudgetWords:  budget,
 			NurseryWords: nurseryFor(budget),
+			Trace:        rec,
 		}
 		if cfg.Profile && cfg.K == 0 {
 			// Unconstrained profiling runs (Figure 2) use a small nursery
@@ -343,6 +373,16 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if profiler != nil {
 		profiler.Finalize()
 	}
+	if rec != nil {
+		rec.Finish()
+		if err := rec.VerifyReconciled(); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", cfg.Label(), err)
+		}
+	}
+	resultProf := profiler
+	if !cfg.Profile {
+		resultProf = nil // trace-only runs keep the profiler internal
+	}
 	return &RunResult{
 		Config:   cfg,
 		Check:    res.Check,
@@ -350,7 +390,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Stats:    *col.Stats(),
 		Updates:  updates(),
 		MaxDepth: stack.MaxDepth(),
-		Profiler: profiler,
+		Profiler: resultProf,
+		Trace:    rec,
 		Policy:   cal.policy,
 	}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"tilgc/internal/costmodel"
+	"tilgc/internal/trace"
 )
 
 // EventKind distinguishes the progress events RunAll emits.
@@ -33,6 +34,10 @@ type Event struct {
 	GCs         uint64  // collections the run performed
 	MaxPauseSec float64 // longest single collection, simulated seconds
 	TotalSec    float64 // simulated mutator+collector seconds
+	// Times is the run's full cycle breakdown (client / gc-stack /
+	// gc-copy), so sweeps expose where the cycles went per run, not just
+	// the total.
+	Times costmodel.Breakdown
 }
 
 // Options configures RunAll.
@@ -50,6 +55,18 @@ type Options struct {
 	// Sanitize enables the heap-integrity sanitizer on every run in the
 	// batch (see RunConfig.Sanitize).
 	Sanitize bool
+	// Trace attaches a telemetry recorder to every run in the batch (see
+	// RunConfig.Trace). Recorders ride back on RunResult.Trace in input
+	// order, so trace files assembled from the results are byte-identical
+	// at every parallelism level.
+	Trace bool
+	// TraceSink, when non-nil, implies Trace and receives each batch's
+	// per-run trace data after the batch assembles — in input order,
+	// whatever the parallelism, with failed runs skipped. The experiment
+	// renderers call RunAll internally without surfacing RunResults, so
+	// this is how callers like gcbench capture traces of a whole sweep;
+	// batches arrive in the order the experiment issues them.
+	TraceSink func([]*trace.RunData)
 }
 
 // workers resolves the pool size for a batch of n runs.
@@ -104,6 +121,9 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 				if opts.Sanitize {
 					cfg.Sanitize = true
 				}
+				if opts.Trace || opts.TraceSink != nil {
+					cfg.Trace = true
+				}
 				r, err := Run(cfg)
 				results[i], errs[i] = r, err
 				done := Event{Kind: EventRunFinished, Index: i, Total: len(cfgs), Config: cfgs[i], Err: err}
@@ -111,12 +131,23 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 					done.GCs = r.Stats.NumGC
 					done.MaxPauseSec = costmodel.Cycles(r.Stats.MaxPauseCycles).Seconds()
 					done.TotalSec = r.Total()
+					done.Times = r.Times
 				}
 				emit(done)
 			}
 		}()
 	}
 	wg.Wait()
+
+	if opts.TraceSink != nil {
+		batch := make([]*trace.RunData, 0, len(results))
+		for _, r := range results {
+			if r != nil && r.Trace != nil {
+				batch = append(batch, r.Trace.Data(r.Config.Label()))
+			}
+		}
+		opts.TraceSink(batch)
+	}
 
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tilgc/internal/trace"
+	"tilgc/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/trace_golden.jsonl from the current collector")
+
+// goldenConfig is the small fixed workload whose trace is pinned: a
+// marker-enabled generational run tight enough to collect a handful of
+// times, exercising minor collections, marker reuse, and promotion.
+func goldenConfig() RunConfig {
+	return RunConfig{
+		Workload: "Life",
+		Scale:    workload.Scale{Repeat: 0.001, Depth: 0.3},
+		Kind:     KindGenMarkers,
+		K:        2,
+		Trace:    true,
+	}
+}
+
+const goldenPath = "testdata/trace_golden.jsonl"
+
+// TestTraceGolden pins the exact JSONL trace of one small fixed workload:
+// every phase span boundary, marker hit/miss count, and per-site counter.
+// A collector refactor that silently changes phase accounting — moving a
+// charge across a phase boundary, dropping a span, reordering counters —
+// fails this test loudly. Refresh intentionally with:
+//
+//	go test ./internal/harness -run TestTraceGolden -update-golden
+func TestTraceGolden(t *testing.T) {
+	cfg := goldenConfig()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := trace.NewFile(r.Trace.Data(cfg.Label()))
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace differs from %s — phase accounting changed.\n"+
+			"If intentional, refresh with: go test ./internal/harness -run TestTraceGolden -update-golden\n%s",
+			goldenPath, diffHint(want, buf.Bytes()))
+	}
+
+	// Sanity-pin the quantities the golden file encodes, so a failure
+	// message points at what moved even without a line diff.
+	s := r.Trace.Data(cfg.Label()).Summarize()
+	if s.GCs == 0 {
+		t.Fatal("golden workload performed no collections; the fixture is vacuous")
+	}
+	if s.FramesReused == 0 {
+		t.Error("golden workload reused no frames; marker coverage is vacuous")
+	}
+}
+
+// diffHint locates the first differing line of two JSONL payloads.
+func diffHint(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := min(len(wl), len(gl))
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("first difference at line %d:\n  want: %s\n  got:  %s",
+				i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wl), len(gl))
+}

@@ -17,6 +17,10 @@ var detPackages = []string{
 	"internal/obj",
 	"internal/costmodel",
 	"internal/prof",
+	// The trace layer's whole contract is byte-identical output: every
+	// timestamp is a costmodel cycle count, so a wall-clock or scheduler
+	// read here would corrupt trace determinism silently.
+	"internal/trace",
 }
 
 // detrandBanned maps package path -> banned member names. An empty set

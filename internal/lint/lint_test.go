@@ -16,6 +16,7 @@ import (
 var fixturePatterns = []string{
 	"./testdata/src/maporder",
 	"./testdata/src/internal/core",
+	"./testdata/src/internal/trace",
 	"./testdata/src/cfg",
 }
 

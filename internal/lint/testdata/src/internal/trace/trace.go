@@ -1,0 +1,46 @@
+// Package trace is a gclint test fixture whose import path ends in
+// internal/trace, placing it inside the detrand determinism fence: trace
+// timestamps and event ordering must never come from the host.
+package trace
+
+import (
+	"math/rand/v2" // want: import of math/rand/v2
+	"runtime"
+	"time"
+)
+
+// Event is a stand-in trace event.
+type Event struct {
+	At   uint64
+	Name string
+}
+
+// Shuffle perturbs event order with host randomness.
+func Shuffle(ev []Event) {
+	rand.Shuffle(len(ev), func(i, j int) { ev[i], ev[j] = ev[j], ev[i] })
+}
+
+// Stamp timestamps an event from the wall clock instead of the cost model.
+func Stamp(e *Event) {
+	e.At = uint64(time.Now().UnixNano()) // want: time.Now
+}
+
+// Age computes a wall-clock delta inside the trace layer.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want: time.Since
+}
+
+// Shards sizes trace buffers from a scheduler-dependent value.
+func Shards() int {
+	return runtime.NumCPU() // want: runtime.NumCPU
+}
+
+// Bucket is clean: pure arithmetic on recorded cycles is deterministic.
+func Bucket(cycles uint64) int {
+	b := 0
+	for cycles > 0 {
+		cycles >>= 1
+		b++
+	}
+	return b
+}

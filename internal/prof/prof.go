@@ -76,6 +76,11 @@ type Profiler struct {
 	// pendingMoves buffers OnMove destinations within one collection so
 	// that OnSpaceCondemned of the source space doesn't double-process.
 	moved []movedRec
+
+	// deathSink, when set, receives every recorded death. Deaths fire in
+	// sorted address order (see OnSpaceCondemned), so the callback
+	// sequence is deterministic.
+	deathSink func(site obj.SiteID, bytes uint64)
 }
 
 type movedRec struct {
@@ -192,6 +197,16 @@ func (p *Profiler) recordDeath(rec *objRec) {
 	s := p.site(rec.site)
 	s.Deaths++
 	s.SumDeathAgeKB += float64(p.clock-rec.birth) / 1024
+	if p.deathSink != nil {
+		p.deathSink(rec.site, rec.sizeBytes)
+	}
+}
+
+// SetDeathSink registers a callback invoked on every object death with the
+// site and the object's size in bytes. Used by the trace layer to build
+// per-site died-words counters without coupling this package to it.
+func (p *Profiler) SetDeathSink(fn func(site obj.SiteID, bytes uint64)) {
+	p.deathSink = fn
 }
 
 // Finalize treats every object still live as dying at the end of the run,

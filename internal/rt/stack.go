@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"tilgc/internal/costmodel"
+	"tilgc/internal/trace"
 )
 
 // Marker records one stack marker: a frame whose stored return key has been
@@ -20,8 +21,9 @@ type Marker struct {
 // activation records, plus the register file, exception-handler chain, and
 // the stack-marker bookkeeping of §5.
 type Stack struct {
-	table *TraceTable
-	meter *costmodel.Meter
+	table  *TraceTable
+	meter  *costmodel.Meter
+	tracer *trace.Recorder // optional telemetry; nil-safe
 
 	slots   []uint64
 	sp      int // next free slot
@@ -59,6 +61,10 @@ func NewStack(table *TraceTable, meter *costmodel.Meter) *Stack {
 		raiseMark: math.MaxInt,
 	}
 }
+
+// SetTracer attaches a telemetry recorder; stub-return fires are counted
+// into it. A nil recorder detaches.
+func (s *Stack) SetTracer(tr *trace.Recorder) { s.tracer = tr }
 
 // Depth returns the current number of frames.
 func (s *Stack) Depth() int { return len(s.frames) }
@@ -117,6 +123,7 @@ func (s *Stack) Return() {
 		delete(s.markers, f.base)
 		raw = m.OrigKey
 		s.meter.Charge(costmodel.Client, costmodel.StubReturn)
+		s.tracer.CountStubReturn()
 	} else {
 		s.meter.Charge(costmodel.Client, costmodel.ReturnFrame)
 	}

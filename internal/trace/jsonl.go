@@ -1,0 +1,410 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/obj"
+)
+
+// JSONL sink: one record per line, schema-versioned. Record kinds, in
+// stream order:
+//
+//	{"t":"header","schema":1,"clock_hz":150000000,"runs":N}
+//	{"t":"run","run":i,"label":"Life/gen+markers k=2"}       per run, then:
+//	{"t":"gc_begin","run":i,"seq":s,"major":false,"at":C,"client":..,"stack":..,"copy":..}
+//	{"t":"phase_begin","run":i,"seq":s,"phase":"roots",...}
+//	{"t":"phase_end",...}
+//	{"t":"gc_end","run":i,"seq":s,...,"counters":{...}}
+//	{"t":"run_end","run":i,"client":..,"stack":..,"copy":..}
+//	{"t":"site","run":i,"site":..,"name":..,...}             sorted by site id
+//	{"t":"metric","run":i,"name":..,"kind":..,...}           sorted by name
+//
+// All cycle quantities are integers of simulated cycles; "at" is always
+// client+stack+copy at the event. The stream contains no floats, no
+// wall-clock quantities, and no map-ordered output, so it is byte-identical
+// across runs and harness parallelism levels.
+
+type recHeader struct {
+	T       string `json:"t"`
+	Schema  int    `json:"schema"`
+	ClockHz uint64 `json:"clock_hz"`
+	Runs    int    `json:"runs"`
+}
+
+type recRun struct {
+	T     string `json:"t"`
+	Run   int    `json:"run"`
+	Label string `json:"label"`
+}
+
+type recEvent struct {
+	T        string      `json:"t"`
+	Run      int         `json:"run"`
+	Seq      uint64      `json:"seq"`
+	Major    *bool       `json:"major,omitempty"`
+	Phase    string      `json:"phase,omitempty"`
+	At       uint64      `json:"at"`
+	Client   uint64      `json:"client"`
+	Stack    uint64      `json:"stack"`
+	Copy     uint64      `json:"copy"`
+	Counters *GCCounters `json:"counters,omitempty"`
+}
+
+type recRunEnd struct {
+	T      string `json:"t"`
+	Run    int    `json:"run"`
+	Client uint64 `json:"client"`
+	Stack  uint64 `json:"stack"`
+	Copy   uint64 `json:"copy"`
+}
+
+type recSite struct {
+	T                 string `json:"t"`
+	Run               int    `json:"run"`
+	Site              uint16 `json:"site"`
+	Name              string `json:"name,omitempty"`
+	AllocObjects      uint64 `json:"alloc_objects"`
+	AllocWords        uint64 `json:"alloc_words"`
+	PretenuredObjects uint64 `json:"pretenured_objects"`
+	PretenuredWords   uint64 `json:"pretenured_words"`
+	CopiedWords       uint64 `json:"copied_words"`
+	TenuredWords      uint64 `json:"tenured_words"`
+	DiedWords         uint64 `json:"died_words"`
+}
+
+type recMetric struct {
+	T       string   `json:"t"`
+	Run     int      `json:"run"`
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Value   uint64   `json:"value,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+	Max     uint64   `json:"max,omitempty"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// eventRecName maps event kinds to wire record names.
+func eventRecName(k EventKind) string {
+	switch k {
+	case EvGCBegin:
+		return "gc_begin"
+	case EvGCEnd:
+		return "gc_end"
+	case EvPhaseBegin:
+		return "phase_begin"
+	case EvPhaseEnd:
+		return "phase_end"
+	}
+	return "unknown"
+}
+
+// File is a parsed (or about-to-be-written) trace: a schema header plus
+// one RunData per traced run.
+type File struct {
+	Schema  int
+	ClockHz uint64
+	Runs    []*RunData
+}
+
+// NewFile wraps frozen run data in a current-schema file.
+func NewFile(runs ...*RunData) *File {
+	return &File{Schema: SchemaVersion, ClockHz: uint64(costmodel.ClockHz), Runs: runs}
+}
+
+// WriteJSONL writes the file as schema-versioned JSONL.
+func (f *File) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline JSONL needs
+	if err := enc.Encode(recHeader{T: "header", Schema: f.Schema, ClockHz: f.ClockHz, Runs: len(f.Runs)}); err != nil {
+		return err
+	}
+	for i, d := range f.Runs {
+		if err := enc.Encode(recRun{T: "run", Run: i, Label: d.Label}); err != nil {
+			return err
+		}
+		for _, e := range d.Events {
+			rec := recEvent{
+				T:      eventRecName(e.Kind),
+				Run:    i,
+				Seq:    e.Seq,
+				At:     uint64(e.At()),
+				Client: uint64(e.Break.Client),
+				Stack:  uint64(e.Break.GCStack),
+				Copy:   uint64(e.Break.GCCopy),
+			}
+			switch e.Kind {
+			case EvGCBegin:
+				major := e.Major
+				rec.Major = &major
+			case EvGCEnd:
+				rec.Counters = e.Counters
+			case EvPhaseBegin, EvPhaseEnd:
+				rec.Phase = e.Phase.String()
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+		end := recRunEnd{T: "run_end", Run: i,
+			Client: uint64(d.Final.Client), Stack: uint64(d.Final.GCStack), Copy: uint64(d.Final.GCCopy)}
+		if err := enc.Encode(end); err != nil {
+			return err
+		}
+		for _, s := range d.Sites {
+			if err := enc.Encode(recSite{T: "site", Run: i, Site: uint16(s.Site), Name: s.Name,
+				AllocObjects: s.AllocObjects, AllocWords: s.AllocWords,
+				PretenuredObjects: s.PretenuredObjects, PretenuredWords: s.PretenuredWords,
+				CopiedWords: s.CopiedWords, TenuredWords: s.TenuredWords, DiedWords: s.DiedWords}); err != nil {
+				return err
+			}
+		}
+		for _, m := range d.Metrics {
+			rec := recMetric{T: "metric", Run: i, Name: m.Name, Kind: m.Kind.String()}
+			if m.Kind == KindHistogram {
+				rec.Count, rec.Sum, rec.Max, rec.Buckets = m.Count, m.Sum, m.Max, m.Buckets
+			} else {
+				rec.Value = m.Value
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace, rejecting unknown record types, unknown
+// fields, out-of-order run records, and schema versions this build does
+// not understand. Structural soundness beyond record shape (span pairing,
+// monotonic timestamps, reconciliation) is checked by Validate.
+func ReadJSONL(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var f *File
+	var cur *RunData
+	lineNo := 0
+	strict := func(line []byte, into any) error {
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		return dec.Decode(into)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			T   string `json:"t"`
+			Run int    `json:"run"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		if probe.T == "header" {
+			if f != nil {
+				return nil, fmt.Errorf("trace: line %d: duplicate header", lineNo)
+			}
+			var h recHeader
+			if err := strict(line, &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			if h.Schema != SchemaVersion {
+				return nil, fmt.Errorf("trace: line %d: schema %d, this build reads schema %d", lineNo, h.Schema, SchemaVersion)
+			}
+			f = &File{Schema: h.Schema, ClockHz: h.ClockHz}
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("trace: line %d: %q record before header", lineNo, probe.T)
+		}
+		if probe.T == "run" {
+			var rr recRun
+			if err := strict(line, &rr); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			if rr.Run != len(f.Runs) {
+				return nil, fmt.Errorf("trace: line %d: run %d out of order (expected %d)", lineNo, rr.Run, len(f.Runs))
+			}
+			cur = &RunData{Label: rr.Label}
+			f.Runs = append(f.Runs, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("trace: line %d: %q record before any run record", lineNo, probe.T)
+		}
+		if probe.Run != len(f.Runs)-1 {
+			return nil, fmt.Errorf("trace: line %d: %q record for run %d inside run %d", lineNo, probe.T, probe.Run, len(f.Runs)-1)
+		}
+		switch probe.T {
+		case "gc_begin", "gc_end", "phase_begin", "phase_end":
+			var re recEvent
+			if err := strict(line, &re); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			ev, err := re.event(probe.T)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			cur.Events = append(cur.Events, ev)
+		case "run_end":
+			var re recRunEnd
+			if err := strict(line, &re); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			cur.Final = costmodel.Breakdown{
+				Client:  costmodel.Cycles(re.Client),
+				GCStack: costmodel.Cycles(re.Stack),
+				GCCopy:  costmodel.Cycles(re.Copy),
+			}
+		case "site":
+			var rs recSite
+			if err := strict(line, &rs); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			cur.Sites = append(cur.Sites, SiteCounters{
+				Site: obj.SiteID(rs.Site), Name: rs.Name,
+				AllocObjects: rs.AllocObjects, AllocWords: rs.AllocWords,
+				PretenuredObjects: rs.PretenuredObjects, PretenuredWords: rs.PretenuredWords,
+				CopiedWords: rs.CopiedWords, TenuredWords: rs.TenuredWords, DiedWords: rs.DiedWords,
+			})
+		case "metric":
+			var rm recMetric
+			if err := strict(line, &rm); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			m := Metric{Name: rm.Name, Value: rm.Value,
+				Count: rm.Count, Sum: rm.Sum, Max: rm.Max, Buckets: rm.Buckets}
+			switch rm.Kind {
+			case "counter":
+				m.Kind = KindCounter
+			case "gauge":
+				m.Kind = KindGauge
+			case "hist":
+				m.Kind = KindHistogram
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown metric kind %q", lineNo, rm.Kind)
+			}
+			cur.Metrics = append(cur.Metrics, m)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %q", lineNo, probe.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("trace: empty input (no header record)")
+	}
+	return f, nil
+}
+
+// event converts a wire event record back to the in-memory form.
+func (re recEvent) event(t string) (Event, error) {
+	b := costmodel.Breakdown{
+		Client:  costmodel.Cycles(re.Client),
+		GCStack: costmodel.Cycles(re.Stack),
+		GCCopy:  costmodel.Cycles(re.Copy),
+	}
+	if costmodel.Cycles(re.At) != b.Total() {
+		return Event{}, fmt.Errorf("at %d != client+stack+copy %d", re.At, b.Total())
+	}
+	ev := Event{Seq: re.Seq, Break: b}
+	switch t {
+	case "gc_begin":
+		ev.Kind = EvGCBegin
+		if re.Major == nil {
+			return Event{}, fmt.Errorf("gc_begin without major field")
+		}
+		ev.Major = *re.Major
+	case "gc_end":
+		ev.Kind = EvGCEnd
+		if re.Counters == nil {
+			return Event{}, fmt.Errorf("gc_end without counters")
+		}
+		ev.Counters = re.Counters
+	case "phase_begin", "phase_end":
+		if t == "phase_begin" {
+			ev.Kind = EvPhaseBegin
+		} else {
+			ev.Kind = EvPhaseEnd
+		}
+		p, ok := ParsePhase(re.Phase)
+		if !ok {
+			return Event{}, fmt.Errorf("unknown phase %q", re.Phase)
+		}
+		ev.Phase = p
+	}
+	return ev, nil
+}
+
+// Validate checks every run's structural invariants: spans strictly
+// nested and paired, collection sequence numbers consecutive from 1,
+// meter components non-decreasing event to event, and the per-phase /
+// per-span / final-meter cycle reconciliation.
+func (f *File) Validate() error {
+	if f.Schema != SchemaVersion {
+		return fmt.Errorf("trace: schema %d, want %d", f.Schema, SchemaVersion)
+	}
+	for i, d := range f.Runs {
+		if err := d.validate(); err != nil {
+			return fmt.Errorf("run %d (%s): %w", i, d.Label, err)
+		}
+	}
+	return nil
+}
+
+func (d *RunData) validate() error {
+	var prev costmodel.Breakdown
+	var seq uint64
+	gcOpen, phaseOpen := false, false
+	var openPhase Phase
+	for i, e := range d.Events {
+		if e.Break.Client < prev.Client || e.Break.GCStack < prev.GCStack || e.Break.GCCopy < prev.GCCopy {
+			return fmt.Errorf("event %d: meter snapshot went backwards", i)
+		}
+		prev = e.Break
+		switch e.Kind {
+		case EvGCBegin:
+			if gcOpen {
+				return fmt.Errorf("event %d: gc_begin inside an open collection", i)
+			}
+			if e.Seq != seq+1 {
+				return fmt.Errorf("event %d: collection seq %d, want %d", i, e.Seq, seq+1)
+			}
+			seq = e.Seq
+			gcOpen = true
+		case EvGCEnd:
+			if !gcOpen || phaseOpen {
+				return fmt.Errorf("event %d: gc_end without open collection (or with open phase)", i)
+			}
+			if e.Seq != seq {
+				return fmt.Errorf("event %d: gc_end seq %d, want %d", i, e.Seq, seq)
+			}
+			gcOpen = false
+		case EvPhaseBegin:
+			if !gcOpen || phaseOpen {
+				return fmt.Errorf("event %d: phase_begin outside a collection or inside phase %v", i, openPhase)
+			}
+			phaseOpen, openPhase = true, e.Phase
+		case EvPhaseEnd:
+			if !phaseOpen || e.Phase != openPhase {
+				return fmt.Errorf("event %d: phase_end(%v) does not match open phase", i, e.Phase)
+			}
+			phaseOpen = false
+		}
+	}
+	if gcOpen || phaseOpen {
+		return fmt.Errorf("trace ends with an open span")
+	}
+	if d.Final.Total() < prev.Total() {
+		return fmt.Errorf("final meter breakdown precedes last event")
+	}
+	return d.Reconcile()
+}

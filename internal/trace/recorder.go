@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/obj"
+)
+
+// Recorder collects one run's trace: span events, per-site counters, and
+// the metrics registry. Collectors call the emit methods at collection and
+// phase boundaries; the simulated runtime counts marker-stub fires into
+// it. A nil *Recorder is valid and records nothing, so instrumentation
+// sites call methods unconditionally.
+//
+// A Recorder is single-run, single-goroutine state, like the meter it
+// reads timestamps from; the harness creates one per traced run.
+type Recorder struct {
+	meter *costmodel.Meter
+	reg   *Registry
+
+	events    []Event
+	sites     map[obj.SiteID]*SiteCounters
+	siteNames map[obj.SiteID]string
+
+	seq       uint64
+	gcOpen    bool
+	phaseOpen bool
+	gcBegin   costmodel.Breakdown
+
+	finished bool
+	final    costmodel.Breakdown
+
+	gcCount   *Metric
+	gcMajors  *Metric
+	pauseHist *Metric
+	stubs     *Metric
+}
+
+// SiteCounters aggregates one allocation site's telemetry: words allocated
+// (split normal vs pretenured), words copied by collections (and the share
+// copied into the tenured generation), and words that died (observed via
+// the profiler's shadow tables when one is attached).
+type SiteCounters struct {
+	Site              obj.SiteID
+	Name              string
+	AllocObjects      uint64
+	AllocWords        uint64
+	PretenuredObjects uint64
+	PretenuredWords   uint64
+	CopiedWords       uint64
+	TenuredWords      uint64
+	DiedWords         uint64
+}
+
+// NewRecorder creates a recorder reading timestamps from meter.
+func NewRecorder(meter *costmodel.Meter) *Recorder {
+	r := &Recorder{
+		meter: meter,
+		reg:   NewRegistry(),
+		sites: make(map[obj.SiteID]*SiteCounters),
+	}
+	r.gcCount = r.reg.Counter(MetricGCCount)
+	r.gcMajors = r.reg.Counter(MetricGCMajors)
+	r.pauseHist = r.reg.Histogram(MetricPauseCycles)
+	r.stubs = r.reg.Counter(MetricStubReturns)
+	return r
+}
+
+// SetSiteNames attaches site documentation used in site records.
+func (r *Recorder) SetSiteNames(names map[obj.SiteID]string) {
+	if r == nil {
+		return
+	}
+	r.siteNames = names
+}
+
+// BeginGC opens a collection span. major reports how the collection was
+// requested; a minor collection that escalates still shows major=false
+// here, with the escalation visible in the end counters.
+func (r *Recorder) BeginGC(major bool) {
+	if r == nil {
+		return
+	}
+	if r.gcOpen {
+		panic("trace: BeginGC inside an open collection span")
+	}
+	r.gcOpen = true
+	r.seq++
+	r.gcBegin = r.meter.Snapshot()
+	r.events = append(r.events, Event{Kind: EvGCBegin, Seq: r.seq, Major: major, Break: r.gcBegin})
+}
+
+// EndGC closes the current collection span with its counter deltas and
+// feeds the pause histogram.
+func (r *Recorder) EndGC(c GCCounters) {
+	if r == nil {
+		return
+	}
+	if !r.gcOpen || r.phaseOpen {
+		panic("trace: EndGC without matching BeginGC or with an open phase")
+	}
+	r.gcOpen = false
+	b := r.meter.Snapshot()
+	r.events = append(r.events, Event{Kind: EvGCEnd, Seq: r.seq, Break: b, Counters: &c})
+	r.gcCount.Add(1)
+	r.gcMajors.Add(c.Majors)
+	r.pauseHist.Observe(uint64(b.GC() - r.gcBegin.GC()))
+}
+
+// BeginPhase opens a phase span inside the current collection.
+func (r *Recorder) BeginPhase(p Phase) {
+	if r == nil {
+		return
+	}
+	if !r.gcOpen || r.phaseOpen {
+		panic(fmt.Sprintf("trace: BeginPhase(%v) outside a collection or inside another phase", p))
+	}
+	r.phaseOpen = true
+	r.events = append(r.events, Event{Kind: EvPhaseBegin, Seq: r.seq, Phase: p, Break: r.meter.Snapshot()})
+}
+
+// EndPhase closes the current phase span.
+func (r *Recorder) EndPhase(p Phase) {
+	if r == nil {
+		return
+	}
+	if !r.phaseOpen {
+		panic(fmt.Sprintf("trace: EndPhase(%v) with no open phase", p))
+	}
+	r.phaseOpen = false
+	r.events = append(r.events, Event{Kind: EvPhaseEnd, Seq: r.seq, Phase: p, Break: r.meter.Snapshot()})
+}
+
+func (r *Recorder) site(id obj.SiteID) *SiteCounters {
+	s, ok := r.sites[id]
+	if !ok {
+		s = &SiteCounters{Site: id, Name: r.siteNames[id]}
+		r.sites[id] = s
+	}
+	return s
+}
+
+// AllocSite records an allocation of words words from site; pretenured
+// marks the direct-to-tenured allocation path (§6).
+func (r *Recorder) AllocSite(id obj.SiteID, words uint64, pretenured bool) {
+	if r == nil {
+		return
+	}
+	s := r.site(id)
+	s.AllocObjects++
+	s.AllocWords += words
+	if pretenured {
+		s.PretenuredObjects++
+		s.PretenuredWords += words
+		s.TenuredWords += words
+	}
+}
+
+// CopySite records that a collection copied words words of site id's data;
+// tenured marks copies landing in the tenured generation (promotion or
+// tenured-to-tenured compaction).
+func (r *Recorder) CopySite(id obj.SiteID, words uint64, tenured bool) {
+	if r == nil {
+		return
+	}
+	s := r.site(id)
+	s.CopiedWords += words
+	if tenured {
+		s.TenuredWords += words
+	}
+}
+
+// DeadSite records the death of words words of site id's data.
+func (r *Recorder) DeadSite(id obj.SiteID, words uint64) {
+	if r == nil {
+		return
+	}
+	r.site(id).DiedWords += words
+}
+
+// CountStubReturn counts one mutator return through a stack-marker stub.
+func (r *Recorder) CountStubReturn() {
+	if r == nil {
+		return
+	}
+	r.stubs.Add(1)
+}
+
+// Finish seals the trace with the run's final meter totals. Call once,
+// after the workload completes; emitting after Finish panics.
+func (r *Recorder) Finish() {
+	if r == nil {
+		return
+	}
+	if r.gcOpen || r.phaseOpen {
+		panic("trace: Finish with an open span")
+	}
+	r.finished = true
+	r.final = r.meter.Snapshot()
+}
+
+// Metrics returns the run's metrics registry for snapshotting at any
+// collection boundary.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Events returns the collected span events in emission order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Data freezes the recorder into the sink-independent run model the
+// writers consume. Sites are sorted by id; metrics by name.
+func (r *Recorder) Data(label string) *RunData {
+	if r == nil {
+		return nil
+	}
+	final := r.final
+	if !r.finished {
+		final = r.meter.Snapshot()
+	}
+	ids := make([]obj.SiteID, 0, len(r.sites))
+	for id := range r.sites {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sites := make([]SiteCounters, len(ids))
+	for i, id := range ids {
+		sites[i] = *r.sites[id]
+	}
+	return &RunData{
+		Label:   label,
+		Events:  r.events,
+		Final:   final,
+		Sites:   sites,
+		Metrics: r.reg.Snapshot(),
+	}
+}
+
+// VerifyReconciled checks the acceptance invariant: per-phase cycle deltas
+// must tile the run's collector time exactly — their sum equals both the
+// sum of the collection-span deltas and the final meter's GC total. A
+// violation means a collector charged GC cycles outside a phase span (or
+// emitted spans that overlap), and the trace's breakdown cannot be
+// trusted.
+func (r *Recorder) VerifyReconciled() error {
+	if r == nil {
+		return nil
+	}
+	return r.Data("").Reconcile()
+}
+
+// RunData is one run's frozen trace: events in emission order, the final
+// meter breakdown, sorted per-site counters, and sorted metric snapshots.
+type RunData struct {
+	Label   string
+	Events  []Event
+	Final   costmodel.Breakdown
+	Sites   []SiteCounters
+	Metrics []Metric
+}
+
+// Reconcile verifies the phase/meter tiling invariant on frozen data (see
+// Recorder.VerifyReconciled).
+func (d *RunData) Reconcile() error {
+	var phaseGC, spanGC costmodel.Cycles
+	var open [4]costmodel.Breakdown // stack depth 2: gc span + phase span
+	for _, e := range d.Events {
+		switch e.Kind {
+		case EvGCBegin:
+			open[0] = e.Break
+		case EvGCEnd:
+			spanGC += e.Break.GC() - open[0].GC()
+		case EvPhaseBegin:
+			open[1] = e.Break
+		case EvPhaseEnd:
+			phaseGC += e.Break.GC() - open[1].GC()
+		}
+	}
+	if phaseGC != spanGC {
+		return fmt.Errorf("trace: phase GC cycles %d != collection-span GC cycles %d", phaseGC, spanGC)
+	}
+	if spanGC != d.Final.GC() {
+		return fmt.Errorf("trace: collection-span GC cycles %d != final meter GC cycles %d", spanGC, d.Final.GC())
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package trace is the deterministic GC telemetry layer: collectors and
+// the simulated runtime emit phase spans, per-collection counters, and
+// per-allocation-site statistics into a Recorder, all timestamped in
+// simulated cycles from the cost model (internal/costmodel) — never the
+// host clock. Because every emitted quantity is a pure function of the
+// workload and the collector configuration, trace output is byte-identical
+// across runs, machines, and harness parallelism levels.
+//
+// The layer answers the question the end-of-run aggregates cannot: where
+// did the cycles go in collection #N? Each collection is a span subdivided
+// into phases (setup, root enumeration, remembered-set drain, pretenured
+// region scan, Cheney copy, LOS sweep), each phase carrying a full meter
+// snapshot at entry and exit so per-phase client/gc-stack/gc-copy deltas
+// reconcile exactly with the run's final costmodel.Meter totals.
+//
+// Two sink formats are provided: a schema-versioned JSONL stream (one
+// event per line, see jsonl.go) and Chrome trace-event JSON loadable in
+// Perfetto or chrome://tracing (chrome.go). Both are written from the same
+// in-memory RunData and are deterministic.
+//
+// Tracing charges nothing to the meter: a traced run measures exactly the
+// same simulated times and statistics as an untraced one.
+package trace
+
+import "tilgc/internal/costmodel"
+
+// SchemaVersion is the JSONL trace-format version. Bump when record
+// shapes or event semantics change incompatibly.
+const SchemaVersion = 1
+
+// Phase names one sub-interval of a collection pause. Phases tile every
+// cycle a collector charges during a collection: all GC-component meter
+// charges happen strictly inside some phase span, which is what makes the
+// per-phase breakdown reconcile exactly with the meter.
+type Phase uint8
+
+const (
+	// PhaseSetup covers the fixed collection overhead: entering the
+	// collection, depth bookkeeping, and space preparation.
+	PhaseSetup Phase = iota
+	// PhaseRoots is root enumeration: the (possibly marker-cached) stack
+	// scan, including evacuation work triggered eagerly by root
+	// forwarding. Marker hit/miss counts accrue here.
+	PhaseRoots
+	// PhaseRemSet is the remembered-set drain: SSB entries or dirty
+	// cards, plus the sticky old-to-aging set.
+	PhaseRemSet
+	// PhasePretenured is the pretenured-region scan (§6) plus the scan
+	// of large objects allocated since the last collection.
+	PhasePretenured
+	// PhaseCopy is the Cheney drain to a fixpoint.
+	PhaseCopy
+	// PhaseSweep is the large-object-space mark-sweep (major collections).
+	PhaseSweep
+	numPhases
+)
+
+// phaseNames maps phases to their wire names (stable; part of the schema).
+var phaseNames = [numPhases]string{
+	PhaseSetup:      "setup",
+	PhaseRoots:      "roots",
+	PhaseRemSet:     "remset",
+	PhasePretenured: "pretenured",
+	PhaseCopy:       "copy",
+	PhaseSweep:      "sweep",
+}
+
+// String returns the phase's wire name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// ParsePhase resolves a wire name back to its Phase.
+func ParsePhase(s string) (Phase, bool) {
+	for p, n := range phaseNames {
+		if n == s {
+			return Phase(p), true
+		}
+	}
+	return 0, false
+}
+
+// Phases returns all phases in declaration order.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// EventKind distinguishes the span events a Recorder collects.
+type EventKind uint8
+
+const (
+	// EvGCBegin opens a collection span.
+	EvGCBegin EventKind = iota
+	// EvGCEnd closes a collection span; it carries the per-collection
+	// counter deltas.
+	EvGCEnd
+	// EvPhaseBegin opens a phase span inside the current collection.
+	EvPhaseBegin
+	// EvPhaseEnd closes a phase span.
+	EvPhaseEnd
+)
+
+// Event is one span boundary. At every boundary the full meter snapshot is
+// recorded, so any interval's client/gc-stack/gc-copy deltas can be read
+// directly off the two bounding events. The timestamp is Break.Total().
+type Event struct {
+	Kind  EventKind
+	Seq   uint64 // collection number, 1-based
+	Major bool   // EvGCBegin: collection was requested as a major
+	Phase Phase  // phase events only
+	Break costmodel.Breakdown
+	// Counters is set on EvGCEnd only: the collection's stat deltas.
+	Counters *GCCounters
+}
+
+// At returns the event's timestamp in simulated cycles.
+func (e Event) At() costmodel.Cycles { return e.Break.Total() }
+
+// GCCounters are the per-collection deltas of the collector statistics —
+// the paper's Table 2/5 quantities, observable per collection instead of
+// only end-of-run. FramesReused are marker hits (frames whose cached scan
+// was reused or skipped); FramesDecoded are misses (full trace-table
+// decodes). Majors is 1 when the collection was or escalated to a major.
+type GCCounters struct {
+	Majors        uint64 `json:"majors"`
+	FramesDecoded uint64 `json:"frames_decoded"`
+	FramesReused  uint64 `json:"frames_reused"`
+	MarkersPlaced uint64 `json:"markers_placed"`
+	RootsFound    uint64 `json:"roots_found"`
+	BytesCopied   uint64 `json:"bytes_copied"`
+	BytesScanned  uint64 `json:"bytes_scanned"`
+	ObjectsCopied uint64 `json:"objects_copied"`
+	SSBProcessed  uint64 `json:"ssb_processed"`
+	LOSSwept      uint64 `json:"los_swept"`
+	Pretenured    uint64 `json:"pretenured"`
+}
+
+// Standard metric names the Recorder maintains. The pause histogram is
+// log2-bucketed: bucket i counts pauses p with 2^(i-1) <= p < 2^i.
+const (
+	MetricGCCount     = "gc.count"
+	MetricGCMajors    = "gc.majors"
+	MetricPauseCycles = "gc.pause_cycles"
+	MetricStubReturns = "rt.stub_returns"
+)

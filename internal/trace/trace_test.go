@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tilgc/internal/costmodel"
+)
+
+// TestNilRecorderIsSafe: every Recorder method must be callable on a nil
+// receiver — instrumentation sites call unconditionally.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.SetSiteNames(nil)
+	r.BeginGC(false)
+	r.BeginPhase(PhaseRoots)
+	r.EndPhase(PhaseRoots)
+	r.EndGC(GCCounters{})
+	r.AllocSite(1, 8, false)
+	r.CopySite(1, 8, true)
+	r.DeadSite(1, 8)
+	r.CountStubReturn()
+	r.Finish()
+	if r.Metrics() != nil || r.Events() != nil || r.Data("x") != nil {
+		t.Error("nil recorder returned non-nil accessors")
+	}
+	if err := r.VerifyReconciled(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecorderSpanGuards: structurally invalid span emissions panic — a
+// collector bug must fail loudly, not produce an unreconcilable trace.
+func TestRecorderSpanGuards(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	m := costmodel.NewMeter()
+	r := NewRecorder(m)
+	mustPanic("EndGC before BeginGC", func() { r.EndGC(GCCounters{}) })
+	mustPanic("BeginPhase outside GC", func() { r.BeginPhase(PhaseRoots) })
+	r.BeginGC(false)
+	mustPanic("nested BeginGC", func() { r.BeginGC(true) })
+	r.BeginPhase(PhaseRoots)
+	mustPanic("nested BeginPhase", func() { r.BeginPhase(PhaseCopy) })
+	mustPanic("EndGC with open phase", func() { r.EndGC(GCCounters{}) })
+	mustPanic("Finish with open span", func() { r.Finish() })
+	r.EndPhase(PhaseRoots)
+	r.EndGC(GCCounters{})
+	r.Finish()
+}
+
+// TestRecorderPauseHistogram: GC spans feed the pause histogram with the
+// GC-component delta, not wall anything.
+func TestRecorderPauseHistogram(t *testing.T) {
+	m := costmodel.NewMeter()
+	r := NewRecorder(m)
+	m.ChargeN(costmodel.Client, 1, 100) // client time does not count as pause
+	r.BeginGC(false)
+	r.BeginPhase(PhaseCopy)
+	m.ChargeN(costmodel.GCCopy, 1, 1000)
+	r.EndPhase(PhaseCopy)
+	r.EndGC(GCCounters{})
+	r.Finish()
+	h, ok := r.Metrics().Lookup(MetricPauseCycles)
+	if !ok {
+		t.Fatal("pause histogram missing")
+	}
+	if h.Count != 1 || h.Sum != 1000 || h.Max != 1000 {
+		t.Errorf("pause histogram = count %d sum %d max %d, want 1/1000/1000", h.Count, h.Sum, h.Max)
+	}
+	if err := r.VerifyReconciled(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReconcileDetectsLeaks: a GC charge outside any phase breaks the
+// tiling invariant and must be reported.
+func TestReconcileDetectsLeaks(t *testing.T) {
+	m := costmodel.NewMeter()
+	r := NewRecorder(m)
+	r.BeginGC(false)
+	m.ChargeN(costmodel.GCCopy, 1, 50) // inside the GC span but outside any phase
+	r.BeginPhase(PhaseCopy)
+	m.ChargeN(costmodel.GCCopy, 1, 10)
+	r.EndPhase(PhaseCopy)
+	r.EndGC(GCCounters{})
+	r.Finish()
+	if err := r.VerifyReconciled(); err == nil {
+		t.Error("phase-untiled GC charge went undetected")
+	}
+
+	m2 := costmodel.NewMeter()
+	r2 := NewRecorder(m2)
+	m2.ChargeN(costmodel.GCStack, 1, 7) // GC charge outside any collection span
+	r2.Finish()
+	if err := r2.VerifyReconciled(); err == nil {
+		t.Error("span-untiled GC charge went undetected")
+	}
+}
+
+// TestHistogramBuckets: log2 bucketing puts v in bucket bits.Len64(v).
+func TestHistogramBuckets(t *testing.T) {
+	var m Metric
+	m.Kind = KindHistogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		m.Observe(v)
+	}
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for b, n := range want {
+		if b >= len(m.Buckets) || m.Buckets[b] != n {
+			t.Errorf("bucket %d = %d, want %d", b, bucketAt(&m, b), n)
+		}
+	}
+	if m.Count != 9 || m.Max != 1024 {
+		t.Errorf("count %d max %d, want 9/1024", m.Count, m.Max)
+	}
+	if q := m.Quantile(1); q < m.Max {
+		t.Errorf("p100 upper bound %d below max %d", q, m.Max)
+	}
+}
+
+func bucketAt(m *Metric, b int) uint64 {
+	if b < len(m.Buckets) {
+		return m.Buckets[b]
+	}
+	return 0
+}
+
+// TestRegistryKinds: kind clashes panic; snapshots are name-sorted deep
+// copies.
+func TestRegistryKinds(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Gauge("a.level").Set(7)
+	reg.Histogram("c.hist").Observe(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	snap := reg.Snapshot()
+	if len(snap) != 3 || snap[0].Name != "a.level" || snap[1].Name != "b.count" || snap[2].Name != "c.hist" {
+		t.Fatalf("snapshot misordered: %+v", snap)
+	}
+	snap[2].Buckets[0] = 99
+	if m, _ := reg.Lookup("c.hist"); len(m.Buckets) > 0 && m.Buckets[0] == 99 {
+		t.Error("snapshot shares bucket storage with the registry")
+	}
+	reg.Gauge("b.count") // registered as counter: panics
+}
+
+// TestPhaseNames: wire names parse back to themselves and unknown names
+// are rejected.
+func TestPhaseNames(t *testing.T) {
+	for _, p := range Phases() {
+		q, ok := ParsePhase(p.String())
+		if !ok || q != p {
+			t.Errorf("phase %d round-trips to %d (ok=%v)", p, q, ok)
+		}
+	}
+	if _, ok := ParsePhase("warble"); ok {
+		t.Error("unknown phase name parsed")
+	}
+	if Phase(200).String() != "unknown" {
+		t.Error("out-of-range phase has a wire name")
+	}
+}
+
+// TestReadJSONLRejects: the strict reader refuses malformed streams.
+func TestReadJSONLRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      `{"t":"run","run":0,"label":"x"}`,
+		"bad schema":     `{"t":"header","schema":99,"clock_hz":1,"runs":0}`,
+		"unknown field":  `{"t":"header","schema":1,"clock_hz":1,"runs":0,"zz":1}`,
+		"unknown record": "{\"t\":\"header\",\"schema\":1,\"clock_hz\":1,\"runs\":0}\n{\"t\":\"wat\"}",
+		"run order":      "{\"t\":\"header\",\"schema\":1,\"clock_hz\":1,\"runs\":1}\n{\"t\":\"run\",\"run\":3,\"label\":\"x\"}",
+		"at mismatch": "{\"t\":\"header\",\"schema\":1,\"clock_hz\":1,\"runs\":1}\n" +
+			"{\"t\":\"run\",\"run\":0,\"label\":\"x\"}\n" +
+			"{\"t\":\"gc_begin\",\"run\":0,\"seq\":1,\"major\":false,\"at\":5,\"client\":1,\"stack\":0,\"copy\":0}",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestValidateCatchesBrokenSpans: structurally broken event streams fail
+// Validate even when each line parses.
+func TestValidateCatchesBrokenSpans(t *testing.T) {
+	open := &RunData{Events: []Event{{Kind: EvGCBegin, Seq: 1}}}
+	if err := NewFile(open).Validate(); err == nil {
+		t.Error("unclosed collection span validated")
+	}
+	badSeq := &RunData{Events: []Event{
+		{Kind: EvGCBegin, Seq: 2},
+		{Kind: EvGCEnd, Seq: 2, Counters: &GCCounters{}},
+	}}
+	if err := NewFile(badSeq).Validate(); err == nil {
+		t.Error("non-consecutive collection seq validated")
+	}
+	backwards := &RunData{Events: []Event{
+		{Kind: EvGCBegin, Seq: 1, Break: costmodel.Breakdown{Client: 10}},
+		{Kind: EvGCEnd, Seq: 1, Counters: &GCCounters{}, Break: costmodel.Breakdown{Client: 5}},
+	}}
+	if err := NewFile(backwards).Validate(); err == nil {
+		t.Error("backwards meter snapshot validated")
+	}
+}
+
+// TestWriteChromeEmpty: an empty file still renders a loadable document.
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewFile().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Error("empty chrome trace lacks traceEvents")
+	}
+}
