@@ -1,0 +1,335 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tilgc/internal/core"
+	"tilgc/internal/harness"
+	"tilgc/internal/workload"
+)
+
+// The wall-clock benchmark suite: the simulator's own speed, as opposed to
+// the simulated measurements everything else reports. Results are written
+// as JSON so a committed baseline (BENCH_PR4.json) can gate later PRs: the
+// deterministic simulated fields must match the baseline exactly (an
+// equivalence check for free) and wall-clock throughput may not regress
+// beyond the gate percentage.
+//
+// Two kernel modes are measured. "opt" is the shipped code; "ref" swaps in
+// the reference copy/scan kernels and pre-optimization allocation paths
+// (core.SetReferenceKernels) that the kernel-equivalence tests hold
+// observationally identical. The ref/opt ratio is a machine-independent
+// record of what the optimized kernels buy.
+
+// benchSchema versions the JSON layout.
+const benchSchema = "tilgc-bench/v1"
+
+// benchScale mirrors the root bench_test.go scale: large enough that the
+// hot loops dominate, small enough to finish in seconds per run.
+var benchWallScale = workload.Scale{Repeat: 0.01, Depth: 0.5}
+
+// benchWorkloads are the paper workloads the baseline tracks.
+var benchWorkloads = []string{
+	"Checksum", "Knuth-Bendix", "Lexgen", "Life", "PIA", "Simple",
+}
+
+// SimFacts are the deterministic outputs of one benchmark run. They are a
+// pure function of (workload, scale, collector config), so any drift
+// against the committed baseline means observable behaviour changed — the
+// wall-clock gate doubles as a kernel-equivalence gate.
+type SimFacts struct {
+	Check        uint64 `json:"check"`
+	NumGC        uint64 `json:"numgc"`
+	BytesCopied  uint64 `json:"bytes_copied"`
+	ClientCycles uint64 `json:"client_cycles"`
+	GCCycles     uint64 `json:"gc_cycles"`
+}
+
+// BenchEntry is one workload's measurement.
+type BenchEntry struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	K        float64  `json:"k"`
+	NsPerRun int64    `json:"ns_per_run"`
+	RefNs    int64    `json:"ref_ns_per_run,omitempty"`
+	Speedup  float64  `json:"speedup,omitempty"`
+	Sim      SimFacts `json:"sim"`
+}
+
+// SweepResult is the kernel mini-sweep aggregate: the collector-stress
+// mutator of core.RunKernelSweep across every collector configuration
+// with a distinct kernel path. Unlike the workload entries (mutator
+// simulation dominates their wall clock), the sweep keeps the collectors
+// hot, so its ref/opt speedup measures the copy/scan kernels themselves.
+// The embedded facts are deterministic and compared exactly.
+type SweepResult struct {
+	Runs        int     `json:"runs"`
+	Ns          int64   `json:"ns"`
+	RefNs       int64   `json:"ref_ns,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+	Check       uint64  `json:"check"`
+	NumGC       uint64  `json:"numgc"`
+	BytesCopied uint64  `json:"bytes_copied"`
+	GCCycles    uint64  `json:"gc_cycles"`
+}
+
+// BenchFile is the serialized benchmark baseline.
+type BenchFile struct {
+	Schema    string         `json:"schema"`
+	Note      string         `json:"note,omitempty"`
+	Scale     workload.Scale `json:"scale"`
+	Reps      int            `json:"reps"`
+	Workloads []BenchEntry   `json:"workloads"`
+	MiniSweep SweepResult    `json:"minisweep"`
+}
+
+// benchConfig builds the per-workload measurement config.
+func benchConfig(name string) harness.RunConfig {
+	return harness.RunConfig{
+		Workload: name, Scale: benchWallScale,
+		Kind: harness.KindGenMarkers, K: 4,
+	}
+}
+
+// timeRuns measures fn's best-of-reps wall clock. fn is run once untimed
+// first, which both warms the calibration cache and CPU caches.
+func timeRuns(reps int, fn func()) int64 {
+	fn()
+	best := int64(0)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		d := time.Since(start).Nanoseconds()
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// runBenchCLI is the -bench entry point: run the suite, optionally write
+// the JSON artifact, optionally gate against a committed baseline.
+func runBenchCLI(jsonOut, baselinePath string, gatePct, minSpeedup float64, reps int, withRef bool) {
+	f, err := runBenchSuite(reps, withRef)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcbench:", err)
+		os.Exit(1)
+	}
+	if jsonOut != "" {
+		if err := writeBenchJSON(f, jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gcbench: wrote benchmark results to %s\n", jsonOut)
+	}
+	if baselinePath != "" {
+		base, err := loadBenchJSON(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		if bad := compareBench(f, base, gatePct, minSpeedup); len(bad) > 0 {
+			for _, m := range bad {
+				fmt.Fprintln(os.Stderr, "gcbench: FAIL:", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gcbench: benchmark gate passed against %s (gate %g%%, min speedup %gx)\n",
+			baselinePath, gatePct, minSpeedup)
+	}
+}
+
+// runBenchSuite executes the benchmark suite and returns the results.
+// Measurements toggle the global kernel mode, so the suite runs serially.
+func runBenchSuite(reps int, withRef bool) (*BenchFile, error) {
+	f := &BenchFile{Schema: benchSchema, Scale: benchWallScale, Reps: reps}
+
+	measure := func(cfg harness.RunConfig) (int64, *harness.RunResult, error) {
+		var last *harness.RunResult
+		var err error
+		ns := timeRuns(reps, func() {
+			if err != nil {
+				return
+			}
+			last, err = harness.Run(cfg)
+		})
+		return ns, last, err
+	}
+
+	for _, name := range benchWorkloads {
+		cfg := benchConfig(name)
+		fmt.Fprintf(os.Stderr, "bench: %-13s ", name)
+		ns, r, err := measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e := BenchEntry{
+			Name: name, Kind: cfg.Kind.String(), K: cfg.K, NsPerRun: ns,
+			Sim: SimFacts{
+				Check:        r.Check,
+				NumGC:        r.Stats.NumGC,
+				BytesCopied:  r.Stats.BytesCopied,
+				ClientCycles: uint64(r.Times.Client),
+				GCCycles:     uint64(r.Times.GC()),
+			},
+		}
+		if withRef {
+			core.SetReferenceKernels(true)
+			refNs, rr, err := measure(cfg)
+			core.SetReferenceKernels(false)
+			if err != nil {
+				return nil, err
+			}
+			if got, want := simFacts(rr), e.Sim; got != want {
+				return nil, fmt.Errorf("bench: %s: reference kernels diverge: %+v != %+v", name, got, want)
+			}
+			e.RefNs = refNs
+			e.Speedup = ratio(refNs, ns)
+		}
+		fmt.Fprintf(os.Stderr, "%12.3fms", float64(e.NsPerRun)/1e6)
+		if withRef {
+			fmt.Fprintf(os.Stderr, "  (ref %.3fms, %.2fx)", float64(e.RefNs)/1e6, e.Speedup)
+		}
+		fmt.Fprintln(os.Stderr)
+		f.Workloads = append(f.Workloads, e)
+	}
+
+	var facts core.KernelSweepFacts
+	sweep := func() { facts = core.RunKernelSweep() }
+	f.MiniSweep.Ns = timeRuns(reps, sweep)
+	f.MiniSweep.Runs = facts.Configs
+	f.MiniSweep.Check = facts.Check
+	f.MiniSweep.NumGC = facts.NumGC
+	f.MiniSweep.BytesCopied = facts.BytesCopied
+	f.MiniSweep.GCCycles = facts.GCCycles
+	if withRef {
+		core.SetReferenceKernels(true)
+		f.MiniSweep.RefNs = timeRuns(reps, sweep)
+		core.SetReferenceKernels(false)
+		if facts != (core.KernelSweepFacts{
+			Configs: f.MiniSweep.Runs, Check: f.MiniSweep.Check,
+			NumGC: f.MiniSweep.NumGC, BytesCopied: f.MiniSweep.BytesCopied,
+			GCCycles: f.MiniSweep.GCCycles,
+		}) {
+			return nil, fmt.Errorf("bench: kernel sweep: reference kernels diverge: %+v", facts)
+		}
+		f.MiniSweep.Speedup = ratio(f.MiniSweep.RefNs, f.MiniSweep.Ns)
+	}
+	fmt.Fprintf(os.Stderr, "bench: mini-sweep    %12.3fms", float64(f.MiniSweep.Ns)/1e6)
+	if withRef {
+		fmt.Fprintf(os.Stderr, "  (ref %.3fms, %.2fx)", float64(f.MiniSweep.RefNs)/1e6, f.MiniSweep.Speedup)
+	}
+	fmt.Fprintln(os.Stderr)
+	return f, nil
+}
+
+func simFacts(r *harness.RunResult) SimFacts {
+	return SimFacts{
+		Check:        r.Check,
+		NumGC:        r.Stats.NumGC,
+		BytesCopied:  r.Stats.BytesCopied,
+		ClientCycles: uint64(r.Times.Client),
+		GCCycles:     uint64(r.Times.GC()),
+	}
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// writeBenchJSON writes the results file.
+func writeBenchJSON(f *BenchFile, path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// loadBenchJSON reads a baseline file.
+func loadBenchJSON(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return &f, nil
+}
+
+// wallGateFloorNs exempts entries faster than this from the wall-clock
+// regression gate: a millisecond-scale measurement is dominated by
+// scheduler noise, so its wall number is recorded for the trend but only
+// its deterministic simulated facts are gated.
+const wallGateFloorNs = 20e6
+
+// compareBench gates the current results against the committed baseline.
+// Deterministic simulated facts must match exactly — that is the
+// machine-independent equivalence gate. The wall-clock gate compares the
+// opt/ref ratio (each run normalized by its own same-machine reference
+// measurement) against the baseline's ratio, since absolute nanoseconds
+// from a different machine or load level are not comparable; only when a
+// side lacks a reference measurement does it fall back to absolute
+// nanoseconds. Finally the mini-sweep speedup must stay at or above
+// minSpeedup. Returns the list of violations.
+func compareBench(cur, base *BenchFile, gatePct, minSpeedup float64) []string {
+	var bad []string
+	wallGate := func(name string, curNs, curRef, baseNs, baseRef int64) {
+		if baseNs < wallGateFloorNs {
+			return
+		}
+		curCost, baseCost, unit := float64(curNs), float64(baseNs), "ms"
+		if curRef > 0 && baseRef > 0 {
+			curCost, baseCost, unit = ratio(curNs, curRef), ratio(baseNs, baseRef), "x ref"
+		}
+		if curCost > baseCost*(1+gatePct/100) {
+			bad = append(bad, fmt.Sprintf(
+				"%s: wall-clock regressed >%g%%: %.3f%s vs baseline %.3f%s",
+				name, gatePct, curCost, unit, baseCost, unit))
+		}
+	}
+	baseBy := map[string]BenchEntry{}
+	for _, e := range base.Workloads {
+		baseBy[e.Name] = e
+	}
+	for _, e := range cur.Workloads {
+		b, ok := baseBy[e.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: not in baseline", e.Name))
+			continue
+		}
+		if e.Sim != b.Sim {
+			bad = append(bad, fmt.Sprintf(
+				"%s: simulated facts diverge from baseline (behaviour changed): %+v != %+v",
+				e.Name, e.Sim, b.Sim))
+		}
+		wallGate(e.Name, e.NsPerRun, e.RefNs, b.NsPerRun, b.RefNs)
+	}
+	if cur.MiniSweep.Check != base.MiniSweep.Check ||
+		cur.MiniSweep.NumGC != base.MiniSweep.NumGC ||
+		cur.MiniSweep.BytesCopied != base.MiniSweep.BytesCopied ||
+		cur.MiniSweep.GCCycles != base.MiniSweep.GCCycles {
+		bad = append(bad, fmt.Sprintf(
+			"mini-sweep: simulated facts diverge from baseline (behaviour changed): %+v != %+v",
+			cur.MiniSweep, base.MiniSweep))
+	}
+	wallGate("mini-sweep", cur.MiniSweep.Ns, cur.MiniSweep.RefNs, base.MiniSweep.Ns, base.MiniSweep.RefNs)
+	if minSpeedup > 0 && cur.MiniSweep.Speedup > 0 && cur.MiniSweep.Speedup < minSpeedup {
+		bad = append(bad, fmt.Sprintf(
+			"mini-sweep: speedup over reference kernels %.2fx below required %.2fx",
+			cur.MiniSweep.Speedup, minSpeedup))
+	}
+	return bad
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"tilgc/internal/costmodel"
 	"tilgc/internal/mem"
@@ -14,15 +15,31 @@ import (
 // installed at the old address, and the to-space is scanned as an implicit
 // breadth-first queue. Large objects (which live in the mark-sweep LOS and
 // are never copied) are marked and queued for field scanning instead.
+//
+// Collectors keep one evacuator value alive across collections and rearm
+// it with begin() each cycle, so the scan frontiers and LOS queue are
+// pooled: a steady-state minor collection allocates nothing on the Go
+// heap. (Under SetReferenceKernels the collectors construct a fresh
+// evacuator per collection instead, the pre-optimization behaviour.)
 type evacuator struct {
 	heap  *mem.Heap
 	meter *costmodel.Meter
 	stats *GCStats
 	prof  Profiler // may be nil
 
-	condemned map[mem.SpaceID]struct{}
-	to        *mem.Space
-	los       *LOS // may be nil
+	// condemned is the set of spaces being collected — at most three
+	// (nursery, tenured from-space, aging from-space), so membership is a
+	// linear compare over a small array rather than a map probe on every
+	// forwarded pointer.
+	condemned  [3]mem.SpaceID
+	ncondemned int
+	// condemnedMap is only populated under the reference kernels: the
+	// pre-pooling evacuator kept the condemned set in a map and paid a
+	// hash probe on every forwarded pointer.
+	condemnedMap map[mem.SpaceID]struct{}
+
+	to  *mem.Space
+	los *LOS // may be nil
 
 	// route, when set, picks the destination space per object (the aging
 	// collector sends young survivors to the aging space and old enough
@@ -37,10 +54,11 @@ type evacuator struct {
 	// tenure, so the collector keeps them in a sticky remembered set.
 	isYoung func(mem.SpaceID) bool
 	sticky  *[]mem.Addr
-	// tr receives per-site copy telemetry (nil-safe); tenured classifies
-	// destination spaces as tenured for the promotion counters.
-	tr      *trace.Recorder
-	tenured func(mem.SpaceID) bool
+	// tr receives per-site copy telemetry (nil-safe); tenuredID classifies
+	// one destination space as tenured for the promotion counters (space
+	// id 0 — the reserved nil space — means none, the semispace case).
+	tr        *trace.Recorder
+	tenuredID mem.SpaceID
 
 	scans    []spaceScan // Cheney frontiers, one per destination space
 	losQueue []mem.Addr  // marked large objects awaiting field scan
@@ -52,24 +70,33 @@ type spaceScan struct {
 	next  uint64
 }
 
-// newEvacuator prepares an evacuation of the condemned spaces into to.
-// Pre-existing objects in to (allocated before this collection) are not
-// rescanned; scanning starts at the current allocation frontier.
-func newEvacuator(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats, prof Profiler,
-	condemned []mem.SpaceID, to *mem.Space, los *LOS) *evacuator {
-	c := make(map[mem.SpaceID]struct{}, len(condemned))
-	for _, id := range condemned {
-		c[id] = struct{}{}
+// begin rearms the evacuator for an evacuation of the condemned spaces
+// into to, reusing the pooled frontier and LOS-queue storage. Pre-existing
+// objects in to (allocated before this collection) are not rescanned;
+// scanning starts at the current allocation frontier.
+func (e *evacuator) begin(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats, prof Profiler,
+	condemned []mem.SpaceID, to *mem.Space, los *LOS) {
+	if len(condemned) > len(e.condemned) {
+		panic(fmt.Sprintf("core: %d condemned spaces exceed the evacuator's capacity", len(condemned)))
 	}
-	return &evacuator{
-		heap:      heap,
-		meter:     meter,
-		stats:     stats,
-		prof:      prof,
-		condemned: c,
-		to:        to,
-		los:       los,
-		scans:     []spaceScan{{space: to, next: to.Used() + 1}},
+	scans := append(e.scans[:0], spaceScan{space: to, next: to.Used() + 1})
+	*e = evacuator{
+		heap:     heap,
+		meter:    meter,
+		stats:    stats,
+		prof:     prof,
+		to:       to,
+		los:      los,
+		scans:    scans,
+		losQueue: e.losQueue[:0],
+	}
+	e.ncondemned = copy(e.condemned[:], condemned)
+	if refKernels {
+		m := make(map[mem.SpaceID]struct{}, len(condemned))
+		for _, id := range condemned {
+			m[id] = struct{}{}
+		}
+		e.condemnedMap = m
 	}
 }
 
@@ -77,6 +104,16 @@ func newEvacuator(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats, prof P
 // copied into it are Cheney-scanned like the primary to-space.
 func (e *evacuator) addDest(s *mem.Space) {
 	e.scans = append(e.scans, spaceScan{space: s, next: s.Used() + 1})
+}
+
+// isCondemned reports whether space id is being collected this cycle.
+func (e *evacuator) isCondemned(id mem.SpaceID) bool {
+	for i := 0; i < e.ncondemned; i++ {
+		if e.condemned[i] == id {
+			return true
+		}
+	}
+	return false
 }
 
 // forward treats v as a pointer value and returns its post-collection
@@ -89,7 +126,11 @@ func (e *evacuator) forward(v uint64) uint64 {
 		return v
 	}
 	id := a.Space()
-	if _, ok := e.condemned[id]; ok {
+	if e.condemnedMap != nil { // reference kernels: the pre-pooling map probe
+		if _, ok := e.condemnedMap[id]; ok {
+			return uint64(e.evacuate(a))
+		}
+	} else if e.isCondemned(id) {
 		return uint64(e.evacuate(a))
 	}
 	if e.los != nil && e.los.Contains(id) {
@@ -101,58 +142,84 @@ func (e *evacuator) forward(v uint64) uint64 {
 }
 
 // evacuate copies the object at a into the to-space (or returns the
-// existing forwarding address).
+// existing forwarding address). The header is read once from the source
+// arena — the forwarding check, the decode, and the forwarding-pointer
+// install all work on that one word — and the payload moves as a single
+// bulk copy into an unzeroed destination span (the span is fully
+// overwritten, so pre-zeroing it as Alloc does would touch every word
+// twice). The meter takes one batched per-word charge — never a
+// word-at-a-time loop. The reference kernels keep the load-per-helper,
+// zero-then-copy behaviour.
 func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
-	if obj.IsForwarded(e.heap, a) {
-		return obj.Forwarding(e.heap, a)
+	if refKernels {
+		return e.refEvacuate(a)
 	}
-	o := obj.Decode(e.heap, a)
+	src := e.heap.Space(a.Space()).Raw()
+	off := a.Offset()
+	hd := src[off]
+	if obj.HeaderKind(hd) == obj.Forwarded {
+		return obj.ForwardAddr(hd)
+	}
+	o := obj.Object{Addr: a, Kind: obj.HeaderKind(hd), Len: obj.HeaderLen(hd), Site: obj.HeaderSite(hd)}
+	if o.Kind == obj.Record {
+		o.Mask = src[off+1]
+	}
 	size := o.SizeWords()
 	target := e.to
 	if e.route != nil {
 		target = e.route(o)
 	}
-	dst, ok := target.Alloc(size)
+	dst, ok := target.AllocUnzeroed(size)
 	if !ok {
 		panic(fmt.Sprintf("core: to-space %d overflow evacuating %d words (used %d / cap %d)",
 			target.ID(), size, target.Used(), target.Capacity()))
 	}
-	e.heap.Copy(dst, a, size)
-	obj.SetForward(e.heap, a, dst)
+	copy(target.Raw()[dst.Offset():dst.Offset()+size], src[off:off+size])
+	src[off] = obj.PackForward(dst)
+	e.finishCopy(dst, o, size)
+	return dst
+}
+
+// finishCopy issues the metering, statistics, telemetry, and policy
+// callbacks for one completed evacuation — shared by the optimized and
+// reference copy kernels so both observe identical costs.
+func (e *evacuator) finishCopy(dst mem.Addr, o obj.Object, size uint64) {
 	e.meter.Charge(costmodel.GCCopy, costmodel.CopyObject)
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.CopyWord, size)
 	e.stats.BytesCopied += size * mem.WordSize
 	e.stats.ObjectsCopied++
-	e.tr.CopySite(o.Site, size, e.tenured != nil && e.tenured(dst.Space()))
+	e.tr.CopySite(o.Site, size, dst.Space() == e.tenuredID)
 	if e.postCopy != nil {
 		e.postCopy(dst, o)
 	}
 	if e.prof != nil {
-		e.prof.OnMove(a, dst)
+		e.prof.OnMove(o.Addr, dst)
 	}
-	return dst
 }
 
 // drain runs the Cheney scan to a fixpoint: every gray object copied into
-// the to-space since the evacuator was created (and every marked large
+// the to-space since the evacuator was rearmed (and every marked large
 // object) has its pointer fields forwarded, possibly evacuating more
-// objects.
+// objects. Each gray object is decoded exactly once — the decoded view
+// both drives the field scan and advances the frontier.
 func (e *evacuator) drain() {
+	if refKernels {
+		e.refDrain()
+		return
+	}
 	for {
 		progressed := false
 		for i := range e.scans {
 			s := &e.scans[i]
 			for s.next <= s.space.Used() {
-				a := mem.MakeAddr(s.space.ID(), s.next)
-				e.scanObject(a)
-				s.next += obj.Decode(e.heap, a).SizeWords()
+				s.next += e.scanAt(s.space, s.next)
 				progressed = true
 			}
 		}
 		for len(e.losQueue) > 0 {
 			a := e.losQueue[len(e.losQueue)-1]
 			e.losQueue = e.losQueue[:len(e.losQueue)-1]
-			e.scanObject(a)
+			e.scanDecoded(obj.Decode(e.heap, a))
 			progressed = true
 		}
 		if !progressed {
@@ -161,9 +228,59 @@ func (e *evacuator) drain() {
 	}
 }
 
+// scanAt forwards every pointer field of the live object at offset off in
+// sp and returns the object's footprint in words. It is the frontier-scan
+// kernel: header, mask, and fields are all read and rewritten through the
+// space's raw arena, so the inner loop performs no per-word space lookup
+// and no Addr arithmetic.
+func (e *evacuator) scanAt(sp *mem.Space, off uint64) uint64 {
+	words := sp.Raw()
+	hd := words[off]
+	k := obj.HeaderKind(hd)
+	length := obj.HeaderLen(hd)
+	size := obj.SizeWords(k, length)
+	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, size)
+	switch k {
+	case obj.RawArray:
+	case obj.PtrArray:
+		base := off + 1
+		for i := uint64(0); i < length; i++ {
+			e.forwardWord(words, sp.ID(), base+i)
+		}
+	case obj.Record:
+		base := off + 2
+		for mask := words[off+1]; mask != 0; mask &= mask - 1 {
+			e.forwardWord(words, sp.ID(), base+uint64(bits.TrailingZeros64(mask)))
+		}
+	default:
+		panic(fmt.Sprintf("core: scanning %v object at %v", k, mem.MakeAddr(sp.ID(), off)))
+	}
+	return size
+}
+
+// forwardWord rewrites the pointer stored at words[off] of space sid —
+// forwardField minus the Heap.Load/Store space lookups.
+func (e *evacuator) forwardWord(words []uint64, sid mem.SpaceID, off uint64) {
+	v := words[off]
+	nv := e.forward(v)
+	if nv != v {
+		words[off] = nv
+	}
+	if e.isYoung != nil && nv != 0 &&
+		!e.isYoung(sid) && e.isYoung(mem.Addr(nv).Space()) {
+		*e.sticky = append(*e.sticky, mem.MakeAddr(sid, off))
+	}
+}
+
 // scanObject forwards every pointer field of the live object at a.
 func (e *evacuator) scanObject(a mem.Addr) {
-	o := obj.Decode(e.heap, a)
+	e.scanDecoded(obj.Decode(e.heap, a))
+}
+
+// scanDecoded forwards every pointer field of the decoded live object.
+// Record fields walk the pointer bitmap with a trailing-zeros scan, so the
+// cost is proportional to the number of pointer fields, not the arity.
+func (e *evacuator) scanDecoded(o obj.Object) {
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
 	switch o.Kind {
 	case obj.RawArray:
@@ -173,15 +290,11 @@ func (e *evacuator) scanObject(a mem.Addr) {
 			e.forwardField(o.PayloadAddr(i))
 		}
 	case obj.Record:
-		mask := o.Mask
-		for i := uint64(0); mask != 0; i++ {
-			if mask&1 == 1 {
-				e.forwardField(o.PayloadAddr(i))
-			}
-			mask >>= 1
+		for mask := o.Mask; mask != 0; mask &= mask - 1 {
+			e.forwardField(o.PayloadAddr(uint64(bits.TrailingZeros64(mask))))
 		}
 	default:
-		panic(fmt.Sprintf("core: scanning %v object at %v", o.Kind, a))
+		panic(fmt.Sprintf("core: scanning %v object at %v", o.Kind, o.Addr))
 	}
 }
 

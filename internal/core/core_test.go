@@ -39,7 +39,7 @@ func (e *testEnv) dummyFrame(size int) *rt.FrameInfo {
 // consList builds a list of n cons cells (record: [value, next]) in c,
 // keeping the head in root slot `slot` at all times so collections mid-build
 // are safe. Values are n-1 down to 0 from head to tail.
-func consList(t *testing.T, c Collector, e *testEnv, slot int, n int, site obj.SiteID) {
+func consList(t testing.TB, c Collector, e *testEnv, slot int, n int, site obj.SiteID) {
 	t.Helper()
 	e.stack.SetSlot(slot, uint64(mem.Nil))
 	for i := 0; i < n; i++ {
@@ -52,7 +52,7 @@ func consList(t *testing.T, c Collector, e *testEnv, slot int, n int, site obj.S
 
 // checkConsList verifies the list rooted at slot contains n cells with
 // values n-1..0.
-func checkConsList(t *testing.T, c Collector, e *testEnv, slot int, n int) {
+func checkConsList(t testing.TB, c Collector, e *testEnv, slot int, n int) {
 	t.Helper()
 	a := mem.Addr(e.stack.Slot(slot))
 	for i := n - 1; i >= 0; i-- {

@@ -106,8 +106,23 @@ type Generational struct {
 	// sticky remembers old-space field addresses still pointing into the
 	// aging space; re-examined at every minor until the targets tenure.
 	// Empty when AgingMinors == 0 (immediate promotion needs none).
-	sticky []mem.Addr
-	inGC   bool
+	// stickySpare is the drained previous-cycle buffer, kept so the two
+	// can ping-pong without reallocating every minor collection.
+	sticky      []mem.Addr
+	stickySpare []mem.Addr
+	inGC        bool
+
+	// pretenureOn caches Pretenure.Len() > 0 so the allocation fast path
+	// skips the per-site policy probe entirely when no site is selected.
+	pretenureOn bool
+
+	// Pooled per-collection scratch (see evacuator.begin): the evacuator
+	// itself, the sorted dirty-card ids, and the expanded card field
+	// addresses. Reused so steady-state minor collections allocate
+	// nothing on the Go heap.
+	ev       evacuator
+	cardBuf  []uint64
+	cardFAs  []mem.Addr
 
 	stats GCStats
 }
@@ -125,6 +140,7 @@ func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg
 	} else {
 		c.ssb = rt.NewSSB(meter)
 	}
+	c.pretenureOn = cfg.Pretenure.Len() > 0
 	c.nursery = heap.AddSpace(cfg.NurseryWords)
 	c.tenCap = c.initialTenCap()
 	// The tenured arena starts small and grows on demand (GrowSpace
@@ -206,41 +222,59 @@ func (c *Generational) PointerUpdates() uint64 {
 	return c.ssb.TotalRecorded()
 }
 
-// Alloc implements Collector.
+// Alloc implements Collector. The common case — a small object from an
+// unpretenured site landing in a nursery with room — runs straight through
+// the bump allocation: records can never be large, so they skip the LOS
+// threshold compare, and the per-site pretenure probe only happens when
+// the policy selects at least one site.
 func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
 	size := obj.SizeWords(k, length)
 	c.chargeAlloc(k, size)
 
 	// Large arrays bypass the nursery into the mark-sweep space (§2.1).
 	if k != obj.Record && length >= c.cfg.LargeObjectWords {
-		if c.los.UsedWords()+size > c.losLimit() {
-			c.Collect(true)
-		}
-		a := c.los.Alloc(k, length, site, mask)
-		c.tr.AllocSite(site, size, false)
-		if c.prof != nil {
-			c.prof.OnAlloc(a, site, k, size)
-		}
-		return a
+		return c.allocLarge(k, length, site, mask, size)
 	}
 
 	// Profile-selected sites allocate directly into the old generation.
-	if _, ok := c.cfg.Pretenure.Lookup(site); ok {
-		return c.allocPretenured(k, length, site, mask, size)
+	if c.pretenureOn {
+		if _, ok := c.cfg.Pretenure.Lookup(site); ok {
+			return c.allocPretenured(k, length, site, mask, size)
+		}
 	}
 
 	a, ok := obj.Alloc(c.heap, c.nursery, k, length, site, mask)
 	if !ok {
-		c.Collect(false)
-		a, ok = obj.Alloc(c.heap, c.nursery, k, length, site, mask)
-		if !ok {
-			panic(fmt.Sprintf("core: object of %d words exceeds nursery (%d words)",
-				size, c.cfg.NurseryWords))
-		}
+		a = c.allocNurserySlow(k, length, site, mask, size)
 	}
 	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
 		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+// allocLarge is the LOS allocation path, collecting first when the
+// large-object share of the budget is exhausted.
+func (c *Generational) allocLarge(k obj.Kind, length uint64, site obj.SiteID, mask uint64, size uint64) mem.Addr {
+	if c.los.UsedWords()+size > c.losLimit() {
+		c.Collect(true)
+	}
+	a := c.los.Alloc(k, length, site, mask)
+	c.tr.AllocSite(site, size, false)
+	if c.prof != nil {
+		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+// allocNurserySlow collects the nursery and retries the bump allocation.
+func (c *Generational) allocNurserySlow(k obj.Kind, length uint64, site obj.SiteID, mask uint64, size uint64) mem.Addr {
+	c.Collect(false)
+	a, ok := obj.Alloc(c.heap, c.nursery, k, length, site, mask)
+	if !ok {
+		panic(fmt.Sprintf("core: object of %d words exceeds nursery (%d words)",
+			size, c.cfg.NurseryWords))
 	}
 	return a
 }
@@ -333,6 +367,16 @@ func (c *Generational) InitField(a mem.Addr, i uint64, v uint64) {
 	obj.SetField(c.heap, a, i, v)
 }
 
+// evacuator returns the collector's pooled evacuator, or a fresh one per
+// collection under the reference kernels (the pre-optimization behaviour,
+// preserved for equivalence tests and benchmark comparison).
+func (c *Generational) evacuator() *evacuator {
+	if refKernels {
+		return new(evacuator)
+	}
+	return &c.ev
+}
+
 // Collect implements Collector.
 func (c *Generational) Collect(major bool) {
 	if c.inGC {
@@ -364,26 +408,28 @@ func (c *Generational) minorGC() {
 	c.scanner.NoteCollection()
 	c.ensureTenured(c.nursery.Used() + c.agingUsed() + 64)
 
-	condemned := []mem.SpaceID{c.nursery.ID()}
+	var condemned [2]mem.SpaceID
+	condemned[0] = c.nursery.ID()
+	ncond := 1
 	var agingTo *mem.Space
 	if c.aging != nil {
-		condemned = append(condemned, c.aging.ID())
+		condemned[1] = c.aging.ID()
+		ncond = 2
 		toID := c.agA
 		if c.aging.ID() == toID {
 			toID = c.agB
 		}
 		agingTo = c.heap.ReplaceSpace(toID, c.nursery.Used()+c.aging.Used()+64)
 	}
-	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof,
-		condemned, c.ten, c.los)
+	ev := c.evacuator()
+	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:ncond], c.ten, c.los)
 	ev.tr = c.tr
-	tenID := c.ten.ID()
-	ev.tenured = func(id mem.SpaceID) bool { return id == tenID }
+	ev.tenuredID = c.ten.ID()
 	var oldSticky []mem.Addr
 	if agingTo != nil {
 		ev.addDest(agingTo)
 		oldSticky = c.sticky
-		c.sticky = nil
+		c.sticky = c.stickySpare[:0]
 		ev.isYoung = c.isYoung
 		ev.sticky = &c.sticky
 		threshold := uint8(min(c.cfg.AgingMinors, 250))
@@ -434,6 +480,9 @@ func (c *Generational) minorGC() {
 	if agingTo != nil {
 		c.heap.ReplaceSpace(c.aging.ID(), 0)
 		c.aging = agingTo
+		// The drained buffer becomes next cycle's spare, so the two sticky
+		// buffers ping-pong without reallocating.
+		c.stickySpare = oldSticky[:0]
 	}
 
 	if c.ten.Used() > c.tenCap {
@@ -454,33 +503,43 @@ func (c *Generational) agingUsed() uint64 {
 // duplicates — the Peg overhead); the card table examines dirty cards'
 // words instead.
 func (c *Generational) processBarrier(ev *evacuator) {
+	if refKernels {
+		c.refProcessBarrier(ev)
+		return
+	}
 	nid := c.nursery.ID()
 	if c.cards != nil {
-		for _, fa := range c.cardFieldAddrs() {
+		// The field-address list is materialized in full before any
+		// forwarding: promotions move the tenured frontier mid-drain, and
+		// interleaving the Contains checks with copies would let a card
+		// spanning the frontier pick up newly promoted fields.
+		c.collectCardFieldAddrs()
+		for _, fa := range c.cardFAs {
 			c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
 			c.forwardIfYoung(ev, fa, nid)
 		}
 		c.cards.Drain()
 		return
 	}
-	for _, fa := range c.ssb.Entries() {
+	c.ssb.DrainTo(func(fa mem.Addr) {
 		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
 		c.stats.SSBProcessed++
 		if c.isYoung(fa.Space()) {
 			// Update within a collected space: the object's copy (if
 			// live) is fully scanned during evacuation anyway.
-			continue
+			return
 		}
 		c.forwardIfYoung(ev, fa, nid)
-	}
-	c.ssb.Drain()
+	})
 }
 
-// cardFieldAddrs expands dirty cards to the field addresses they cover
-// that lie within allocated, non-nursery space.
-func (c *Generational) cardFieldAddrs() []mem.Addr {
-	var out []mem.Addr
-	for _, id := range c.cards.Cards() {
+// collectCardFieldAddrs expands dirty cards to the field addresses they
+// cover that lie within allocated, non-nursery space, filling the pooled
+// cardBuf/cardFAs buffers (no per-collection allocation at steady state).
+func (c *Generational) collectCardFieldAddrs() {
+	c.cardBuf = c.cards.AppendCards(c.cardBuf[:0])
+	c.cardFAs = c.cardFAs[:0]
+	for _, id := range c.cardBuf {
 		start, n := c.cards.CardBounds(id)
 		if c.isYoung(start.Space()) {
 			continue
@@ -492,11 +551,10 @@ func (c *Generational) cardFieldAddrs() []mem.Addr {
 		for i := uint64(0); i < n; i++ {
 			fa := start.Add(i)
 			if sp.Contains(fa) {
-				out = append(out, fa)
+				c.cardFAs = append(c.cardFAs, fa)
 			}
 		}
 	}
-	return out
 }
 
 // forwardIfYoung forwards the value at field address fa when it points
@@ -599,14 +657,17 @@ func (c *Generational) majorGC() {
 	}
 	c.los.ClearMarks()
 	to := c.heap.ReplaceSpace(toID, c.ten.Used()+c.nursery.Used()+c.agingUsed())
-	condemned := []mem.SpaceID{c.nursery.ID(), fromID}
+	var condemned [3]mem.SpaceID
+	condemned[0], condemned[1] = c.nursery.ID(), fromID
+	ncond := 2
 	if c.aging != nil {
-		condemned = append(condemned, c.aging.ID())
+		condemned[2] = c.aging.ID()
+		ncond = 3
 	}
-	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof,
-		condemned, to, c.los)
+	ev := c.evacuator()
+	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:ncond], to, c.los)
 	ev.tr = c.tr
-	ev.tenured = func(id mem.SpaceID) bool { return id == toID }
+	ev.tenuredID = toID
 
 	c.tr.BeginPhase(trace.PhaseRoots)
 	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
@@ -630,7 +691,7 @@ func (c *Generational) majorGC() {
 	if c.aging != nil {
 		c.aging = c.heap.ReplaceSpace(c.aging.ID(), c.cfg.NurseryWords+64)
 	}
-	c.sticky = nil // no old-to-young refs survive a full collection
+	c.sticky = c.sticky[:0] // no old-to-young refs survive a full collection
 	// The barrier's remembered set and the pretenured regions are stale
 	// and unnecessary: there are no old-to-young pointers after a full
 	// collection.

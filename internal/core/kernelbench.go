@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+	"tilgc/internal/rt"
+)
+
+// This file is the wall-clock kernel sweep behind `gcbench -bench`: a
+// collector-stress mutator (no simulated client computation beyond what
+// feeds the heap) run across every collector configuration with a
+// distinct kernel path. Full paper workloads spend most of their wall
+// clock simulating the mutator, so kernel changes barely move them; this
+// sweep keeps the collectors hot — bursts of live allocation, write
+// barriers into old arrays, LOS traffic, and frequent minor and major
+// collections — so the ref/opt ratio measures the copy/scan kernels
+// themselves. It is deliberately the same shape as the kernel-equivalence
+// test workload, scaled up to a measurable duration.
+
+// KernelSweepFacts are the deterministic outputs of one sweep: a checksum
+// folding every surviving list cell plus the aggregate collector
+// statistics and simulated collector cycles across all configurations.
+// They are a pure function of the sweep definition, identical under the
+// optimized and reference kernels, and machine-independent — the bench
+// baseline compares them exactly.
+type KernelSweepFacts struct {
+	Configs     int
+	Check       uint64
+	NumGC       uint64
+	BytesCopied uint64
+	GCCycles    uint64
+}
+
+// kernelSweepCollectors is the configuration matrix: every collector
+// variant with a distinct kernel path.
+func kernelSweepCollectors() []func(stack *rt.Stack, meter *costmodel.Meter) Collector {
+	gen := func(cfg GenConfig) func(stack *rt.Stack, meter *costmodel.Meter) Collector {
+		return func(stack *rt.Stack, meter *costmodel.Meter) Collector {
+			return NewGenerational(stack, meter, nil, cfg)
+		}
+	}
+	pol := NewPretenurePolicy(map[obj.SiteID]PretenureDecision{
+		12: {},
+		50: {OnlyOldRefs: true},
+	})
+	budget, nursery := uint64(1<<20), uint64(16*1024)
+	return []func(stack *rt.Stack, meter *costmodel.Meter) Collector{
+		func(stack *rt.Stack, meter *costmodel.Meter) Collector {
+			return NewSemispace(stack, meter, nil, SemispaceConfig{
+				BudgetWords: budget, InitialWords: 64 * 1024,
+			})
+		},
+		gen(GenConfig{BudgetWords: budget, NurseryWords: nursery}),
+		gen(GenConfig{BudgetWords: budget, NurseryWords: nursery, UseCardTable: true}),
+		gen(GenConfig{BudgetWords: budget, NurseryWords: nursery, MarkerN: 5}),
+		gen(GenConfig{BudgetWords: budget, NurseryWords: nursery, AgingMinors: 2}),
+		gen(GenConfig{
+			BudgetWords: budget, NurseryWords: nursery, MarkerN: 5,
+			Pretenure: pol, ScanElision: true,
+		}),
+	}
+}
+
+// fnv1a folds v into the running FNV-1a hash h.
+func fnv1a(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// RunKernelSweep drives the kernel-stress mutator through every sweep
+// configuration and returns the folded deterministic facts. Respects the
+// active kernel mode (SetReferenceKernels).
+func RunKernelSweep() KernelSweepFacts {
+	const offsetBasis = 14695981039346656037
+	facts := KernelSweepFacts{Check: offsetBasis}
+	for _, mk := range kernelSweepCollectors() {
+		facts.Configs++
+		table := rt.NewTraceTable()
+		meter := costmodel.NewMeter()
+		stack := rt.NewStack(table, meter)
+		slots := []rt.SlotTrace{{}, rt.PTR(), rt.PTR(), rt.PTR()}
+		stack.Call(table.Register("kernelbench", slots, nil))
+		c := mk(stack, meter)
+		runKernelStress(c, stack)
+
+		// Fold the surviving list: cell count and every stored value.
+		n := uint64(0)
+		for a := mem.Addr(stack.Slot(1)); !a.IsNil(); a = mem.Addr(c.LoadField(a, 1)) {
+			n++
+			facts.Check = fnv1a(facts.Check, c.LoadField(a, 0))
+		}
+		facts.Check = fnv1a(facts.Check, n)
+		st := c.Stats()
+		facts.NumGC += st.NumGC
+		facts.BytesCopied += st.BytesCopied
+		facts.GCCycles += uint64(meter.Snapshot().GC())
+		facts.Check = fnv1a(facts.Check, st.ObjectsCopied)
+		facts.Check = fnv1a(facts.Check, st.SSBProcessed)
+	}
+	return facts
+}
+
+// runKernelStress is the mutator program: long-lived cons bursts, write
+// barriers into an old pointer array, LOS raw/pointer arrays, nursery
+// churn, and repeated minor and major collections each round. The live
+// list is built once per round but re-copied by every subsequent major
+// (and, for the semispace collector, every collection), so the wall
+// clock concentrates in the copy/scan kernels rather than in building
+// the heap.
+func runKernelStress(c Collector, stack *rt.Stack) {
+	const rounds = 8
+	stack.SetSlot(1, uint64(mem.Nil))
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < 1000; i++ {
+			cell := c.Alloc(obj.Record, 2, obj.SiteID(10+round%6), 0b10)
+			c.InitField(cell, 0, uint64(round*10000+i))
+			c.InitField(cell, 1, stack.Slot(1))
+			stack.SetSlot(1, uint64(cell))
+		}
+		// Pointer-free record from the OnlyOldRefs site (scan elision).
+		c.InitField(c.Alloc(obj.Record, 4, 50, 0), 0, uint64(round))
+
+		// An old pointer array reachable across collections.
+		arr := c.Alloc(obj.PtrArray, 64, 20, 0)
+		stack.SetSlot(2, uint64(arr))
+		c.Collect(false)
+
+		// Large raw and pointer arrays through the mark-sweep LOS; the
+		// pointer array references the list so LOS scanning has work. The
+		// previous round's arrays die.
+		big := c.Alloc(obj.RawArray, 4096, 30, 0)
+		c.InitField(big, 0, 42)
+		lp := c.Alloc(obj.PtrArray, 2000, 31, 0)
+		c.StoreField(lp, 0, stack.Slot(1), true)
+		stack.SetSlot(3, uint64(lp))
+
+		// Barrier-mutate-and-collect inner rounds: each stores young
+		// pointers into the old array (SSB or card traffic), churns the
+		// nursery a little, and collects — three minors re-scanning the
+		// remembered set, then a major re-copying the whole live list.
+		for k := 0; k < 4; k++ {
+			for i := 0; i < 64; i++ {
+				young := c.Alloc(obj.Record, 2, 21, 0)
+				c.InitField(young, 0, uint64(i))
+				c.StoreField(mem.Addr(stack.Slot(2)), uint64(i), uint64(young), true)
+			}
+			for i := 0; i < 200; i++ {
+				c.Alloc(obj.Record, 3, 40, 0b110)
+			}
+			c.Collect(k == 3)
+		}
+	}
+	// Self-check: the full list must have survived every collection.
+	n, head := 0, mem.Addr(stack.Slot(1))
+	for a := head; !a.IsNil(); a = mem.Addr(c.LoadField(a, 1)) {
+		n++
+	}
+	if n != rounds*1000 {
+		panic(fmt.Sprintf("core: kernel sweep list has %d cells, want %d", n, rounds*1000))
+	}
+}

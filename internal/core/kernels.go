@@ -1,0 +1,28 @@
+package core
+
+import "tilgc/internal/mem"
+
+// refKernels selects the reference (pre-optimization) implementations of
+// the collector hot paths: the first-draft copy/scan kernels, per-GC
+// evacuator allocation, the cloning store-buffer drain, and eager arena
+// zeroing. The reference and optimized paths are observationally
+// identical — same simulated cycles, traces, stats, and heap images; the
+// kernel-equivalence tests in kernel_equiv_test.go enforce this — so the
+// flag exists only so benchmarks can measure what the optimized kernels
+// buy on the same machine (gcbench -bench reports the ref/opt ratio).
+//
+// The flag is process-global and read on collector hot paths without
+// synchronization: set it only while no collector is running (benchmarks
+// and tests toggle it between serial runs).
+var refKernels bool
+
+// SetReferenceKernels switches every subsequently-running collector
+// between the optimized (false, default) and reference (true) hot-path
+// implementations. See refKernels for the contract.
+func SetReferenceKernels(on bool) {
+	refKernels = on
+	mem.SetEagerZeroing(on)
+}
+
+// ReferenceKernels reports the current kernel mode.
+func ReferenceKernels() bool { return refKernels }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// This file preserves the first-draft ("reference") copy/scan kernels
+// verbatim. They are never used in production — SetReferenceKernels
+// selects them so that the kernel-equivalence tests can prove the
+// optimized kernels observationally identical, and so gcbench -bench can
+// measure the speedup on the same machine. Every meter charge here is
+// issued in exactly the same order and amount as the optimized kernels.
+
+// refDrain is the reference Cheney scan: like drain, but each gray object
+// is decoded twice (once to scan, once to advance the frontier).
+func (e *evacuator) refDrain() {
+	for {
+		progressed := false
+		for i := range e.scans {
+			s := &e.scans[i]
+			for s.next <= s.space.Used() {
+				a := mem.MakeAddr(s.space.ID(), s.next)
+				e.refScanObject(a)
+				s.next += obj.Decode(e.heap, a).SizeWords()
+				progressed = true
+			}
+		}
+		for len(e.losQueue) > 0 {
+			a := e.losQueue[len(e.losQueue)-1]
+			e.losQueue = e.losQueue[:len(e.losQueue)-1]
+			e.refScanObject(a)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// refEvacuate is the reference copy kernel: it re-reads the header through
+// Heap.Load once for the forwarding check and again to decode, and
+// allocates the destination span zeroed (Alloc) before immediately
+// overwriting every word with the copy.
+func (e *evacuator) refEvacuate(a mem.Addr) mem.Addr {
+	if obj.IsForwarded(e.heap, a) {
+		return obj.Forwarding(e.heap, a)
+	}
+	o := obj.Decode(e.heap, a)
+	size := o.SizeWords()
+	target := e.to
+	if e.route != nil {
+		target = e.route(o)
+	}
+	dst, ok := target.Alloc(size)
+	if !ok {
+		panic(fmt.Sprintf("core: to-space %d overflow evacuating %d words (used %d / cap %d)",
+			target.ID(), size, target.Used(), target.Capacity()))
+	}
+	e.heap.Copy(dst, a, size)
+	obj.SetForward(e.heap, a, dst)
+	e.finishCopy(dst, o, size)
+	return dst
+}
+
+// refScanObject is the reference field scan: records walk every bit of the
+// pointer mask with a shift loop, visiting set bits in the same ascending
+// order as the optimized trailing-zeros scan.
+func (e *evacuator) refScanObject(a mem.Addr) {
+	o := obj.Decode(e.heap, a)
+	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
+	switch o.Kind {
+	case obj.RawArray:
+		return
+	case obj.PtrArray:
+		for i := uint64(0); i < o.Len; i++ {
+			e.forwardField(o.PayloadAddr(i))
+		}
+	case obj.Record:
+		mask := o.Mask
+		for i := uint64(0); mask != 0; i++ {
+			if mask&1 == 1 {
+				e.forwardField(o.PayloadAddr(i))
+			}
+			mask >>= 1
+		}
+	default:
+		panic(fmt.Sprintf("core: scanning %v object at %v", o.Kind, a))
+	}
+}
+
+// refProcessBarrier is the reference remembered-set drain: the SSB path
+// clones the buffer (Entries) and the card path materializes fresh id and
+// field-address slices per collection.
+func (c *Generational) refProcessBarrier(ev *evacuator) {
+	nid := c.nursery.ID()
+	if c.cards != nil {
+		for _, fa := range c.refCardFieldAddrs() {
+			c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
+			c.forwardIfYoung(ev, fa, nid)
+		}
+		c.cards.Drain()
+		return
+	}
+	for _, fa := range c.ssb.Entries() {
+		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
+		c.stats.SSBProcessed++
+		if c.isYoung(fa.Space()) {
+			// Update within a collected space: the object's copy (if
+			// live) is fully scanned during evacuation anyway.
+			continue
+		}
+		c.forwardIfYoung(ev, fa, nid)
+	}
+	c.ssb.Drain()
+}
+
+// refCardFieldAddrs expands dirty cards to the field addresses they cover
+// that lie within allocated, non-nursery space, as a freshly allocated
+// slice.
+func (c *Generational) refCardFieldAddrs() []mem.Addr {
+	var out []mem.Addr
+	for _, id := range c.cards.Cards() {
+		start, n := c.cards.CardBounds(id)
+		if c.isYoung(start.Space()) {
+			continue
+		}
+		sp := c.heap.Space(start.Space())
+		if sp == nil {
+			continue // card in a freed large-object space
+		}
+		for i := uint64(0); i < n; i++ {
+			fa := start.Add(i)
+			if sp.Contains(fa) {
+				out = append(out, fa)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// driveKernelWorkload runs a fixed mutator program against c exercising
+// every kernel path: record and array allocation, LOS bypass, pointer
+// mutation through the write barrier, minor and major collections, and
+// death of large objects.
+func driveKernelWorkload(t testing.TB, c Collector, e *testEnv) {
+	e.stack.SetSlot(1, uint64(mem.Nil))
+	for round := 0; round < 6; round++ {
+		// A burst of long-lived cons cells (site varies per round so a
+		// pretenure policy can select a subset).
+		for i := 0; i < 300; i++ {
+			cell := c.Alloc(obj.Record, 2, obj.SiteID(10+round), 0b10)
+			c.InitField(cell, 0, uint64(round*1000+i))
+			c.InitField(cell, 1, e.stack.Slot(1))
+			e.stack.SetSlot(1, uint64(cell))
+		}
+		// A pointer-free record from the OnlyOldRefs site (scan elision).
+		c.InitField(c.Alloc(obj.Record, 4, 50, 0), 0, uint64(round))
+
+		// An old pointer array mutated to reference young cells: the write
+		// barrier's remembered set must drag them across the collection.
+		arr := c.Alloc(obj.PtrArray, 16, 20, 0)
+		e.stack.SetSlot(2, uint64(arr))
+		c.Collect(false)
+		for i := 0; i < 16; i++ {
+			young := c.Alloc(obj.Record, 2, 21, 0)
+			c.InitField(young, 0, uint64(i))
+			c.StoreField(mem.Addr(e.stack.Slot(2)), uint64(i), uint64(young), true)
+		}
+
+		// Large raw and pointer arrays through the mark-sweep LOS; the
+		// pointer array references the list so LOS scanning has work.
+		big := c.Alloc(obj.RawArray, 2048, 30, 0)
+		c.InitField(big, 0, 42)
+		lp := c.Alloc(obj.PtrArray, 1500, 31, 0)
+		c.StoreField(lp, 0, e.stack.Slot(1), true)
+		e.stack.SetSlot(3, uint64(lp)) // previous round's array dies
+
+		// Nursery churn.
+		for i := 0; i < 800; i++ {
+			c.Alloc(obj.Record, 3, 40, 0b110)
+		}
+		if round%2 == 1 {
+			c.Collect(true)
+		}
+	}
+	// The list must have survived intact: 1800 cells, head value 5299.
+	n, head := 0, mem.Addr(e.stack.Slot(1))
+	for a := head; !a.IsNil(); a = mem.Addr(c.LoadField(a, 1)) {
+		n++
+	}
+	if n != 6*300 {
+		t.Fatalf("list has %d cells, want %d", n, 6*300)
+	}
+	if v := c.LoadField(head, 0); v != 5299 {
+		t.Fatalf("head value = %d, want 5299", v)
+	}
+}
+
+// heapImage flattens every space of c's heap — ids, sizes, and all
+// allocated words — into one comparable word stream.
+func heapImage(c Collector) []uint64 {
+	h := c.Heap()
+	var img []uint64
+	for id := 1; id < h.NumSpaces(); id++ {
+		sid := mem.SpaceID(id)
+		sp := h.Space(sid)
+		img = append(img, uint64(id))
+		if sp == nil {
+			img = append(img, ^uint64(0))
+			continue
+		}
+		img = append(img, sp.Used(), sp.Capacity())
+		if sp.Used() > 0 {
+			img = append(img, h.Words(mem.MakeAddr(sid, 1), sp.Used())...)
+		}
+	}
+	return img
+}
+
+// kernelConfigs is the mini-sweep matrix for the equivalence test: every
+// collector configuration with a distinct kernel path.
+func kernelConfigs() []struct {
+	name string
+	make func(e *testEnv) Collector
+} {
+	gen := func(cfg GenConfig) func(e *testEnv) Collector {
+		return func(e *testEnv) Collector { return NewGenerational(e.stack, e.meter, nil, cfg) }
+	}
+	pol := NewPretenurePolicy(map[obj.SiteID]PretenureDecision{
+		12: {},
+		50: {OnlyOldRefs: true},
+	})
+	return []struct {
+		name string
+		make func(e *testEnv) Collector
+	}{
+		{"semispace", func(e *testEnv) Collector {
+			return NewSemispace(e.stack, e.meter, nil, SemispaceConfig{
+				BudgetWords: 64 * 1024, InitialWords: 2 * 1024,
+			})
+		}},
+		{"generational", gen(GenConfig{BudgetWords: 64 * 1024, NurseryWords: 4 * 1024})},
+		{"gen+cards", gen(GenConfig{BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, UseCardTable: true})},
+		{"gen+markers", gen(GenConfig{BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, MarkerN: 5})},
+		{"gen+aging", gen(GenConfig{BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, AgingMinors: 2})},
+		{"gen+pretenure+elide", gen(GenConfig{
+			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, MarkerN: 5,
+			Pretenure: pol, ScanElision: true,
+		})},
+	}
+}
+
+// TestKernelEquivalence proves the optimized copy/scan kernels
+// observationally identical to the reference kernels: the same mutator
+// program must leave byte-identical heap images and identical GC stats and
+// simulated cycle counts under both, across the whole configuration
+// mini-sweep.
+func TestKernelEquivalence(t *testing.T) {
+	for _, kc := range kernelConfigs() {
+		t.Run(kc.name, func(t *testing.T) {
+			run := func(ref bool) ([]uint64, GCStats, costmodel.Breakdown) {
+				SetReferenceKernels(ref)
+				defer SetReferenceKernels(false)
+				e := newEnv(4)
+				c := kc.make(e)
+				driveKernelWorkload(t, c, e)
+				c.Collect(true)
+				return heapImage(c), *c.Stats(), e.meter.Snapshot()
+			}
+			optImg, optStats, optTimes := run(false)
+			refImg, refStats, refTimes := run(true)
+			if optStats != refStats {
+				t.Errorf("GC stats diverge:\n opt %+v\n ref %+v", optStats, refStats)
+			}
+			if optTimes != refTimes {
+				t.Errorf("cycle counts diverge:\n opt %+v\n ref %+v", optTimes, refTimes)
+			}
+			if !slices.Equal(optImg, refImg) {
+				i := 0
+				for i < len(optImg) && i < len(refImg) && optImg[i] == refImg[i] {
+					i++
+				}
+				t.Errorf("heap images diverge at word %d (opt len %d, ref len %d)",
+					i, len(optImg), len(refImg))
+			}
+		})
+	}
+}
+
+// fillNurseryGarbage allocates dead records filling most of a 4K-word
+// nursery (800 cells × 4 words) without triggering an implicit collection.
+func fillNurseryGarbage(c Collector) {
+	for i := 0; i < 800; i++ {
+		c.Alloc(obj.Record, 2, 40, 0b01)
+	}
+}
+
+// TestMinorGCSteadyStateAllocsZero pins the tentpole's zero-allocation
+// property: once the pooled buffers have grown to the working-set size, a
+// steady-state minor collection performs no Go heap allocations at all.
+func TestMinorGCSteadyStateAllocsZero(t *testing.T) {
+	e := newEnv(2)
+	c := newGen(e, GenConfig{BudgetWords: 1 << 20, NurseryWords: 4 * 1024})
+	consList(t, c, e, 1, 100, 1)
+	for i := 0; i < 5; i++ { // warm up pools and the tenured arena
+		fillNurseryGarbage(c)
+		c.Collect(false)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		fillNurseryGarbage(c)
+		c.Collect(false)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state minor GC allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestMinorGCSteadyStateAllocsZeroWithBarrier is the same property with a
+// populated remembered set: SSB draining must not allocate either.
+func TestMinorGCSteadyStateAllocsZeroWithBarrier(t *testing.T) {
+	e := newEnv(2)
+	c := newGen(e, GenConfig{BudgetWords: 1 << 20, NurseryWords: 4 * 1024})
+	arr := c.Alloc(obj.PtrArray, 16, 20, 0)
+	e.stack.SetSlot(1, uint64(arr))
+	c.Collect(false) // tenure the array
+	mutate := func() {
+		for i := 0; i < 16; i++ {
+			y := c.Alloc(obj.Record, 2, 21, 0)
+			c.StoreField(mem.Addr(e.stack.Slot(1)), uint64(i), uint64(y), true)
+		}
+		for i := 0; i < 700; i++ {
+			c.Alloc(obj.Record, 2, 40, 0)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		mutate()
+		c.Collect(false)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		mutate()
+		c.Collect(false)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state minor GC with barrier allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// benchKernels runs fn under both kernel implementations as sub-benchmarks.
+func benchKernels(b *testing.B, fn func(b *testing.B)) {
+	b.Run("opt", fn)
+	b.Run("ref", func(b *testing.B) {
+		SetReferenceKernels(true)
+		defer SetReferenceKernels(false)
+		fn(b)
+	})
+}
+
+// BenchmarkEvacuate measures the bulk-copy path: every iteration is a full
+// semispace collection copying a 2000-cell live list.
+func BenchmarkEvacuate(b *testing.B) {
+	benchKernels(b, func(b *testing.B) {
+		e := newEnv(2)
+		c := NewSemispace(e.stack, e.meter, nil, SemispaceConfig{
+			BudgetWords: 1 << 20, InitialWords: 32 * 1024,
+		})
+		consList(b, c, e, 1, 2000, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Collect(true)
+		}
+	})
+}
+
+// BenchmarkScanObject measures the field-scan kernel alone on a sparse
+// 64-field record (no evacuation: nothing is condemned).
+func BenchmarkScanObject(b *testing.B) {
+	benchKernels(b, func(b *testing.B) {
+		heap := mem.NewHeap()
+		sp := heap.AddSpace(1024)
+		a, ok := obj.Alloc(heap, sp, obj.Record, 64, 1, 0x8000_0401_0040_0011)
+		if !ok {
+			b.Fatal("alloc failed")
+		}
+		var stats GCStats
+		var ev evacuator
+		ev.begin(heap, costmodel.NewMeter(), &stats, nil, nil, sp, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.scanObject(a)
+		}
+	})
+}
+
+// BenchmarkKernelSweep measures the full kernel-stress sweep behind
+// `gcbench -bench` (one iteration = every configuration).
+func BenchmarkKernelSweep(b *testing.B) {
+	benchKernels(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			RunKernelSweep()
+		}
+	})
+}
+
+// BenchmarkMinorGC measures a steady-state minor collection: a mostly-dead
+// nursery over a small tenured live set, the simulator's hottest loop.
+func BenchmarkMinorGC(b *testing.B) {
+	benchKernels(b, func(b *testing.B) {
+		e := newEnv(2)
+		c := newGen(e, GenConfig{BudgetWords: 1 << 20, NurseryWords: 4 * 1024})
+		consList(b, c, e, 1, 100, 1)
+		for i := 0; i < 3; i++ {
+			fillNurseryGarbage(c)
+			c.Collect(false)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fillNurseryGarbage(c)
+			c.Collect(false)
+		}
+	})
+}

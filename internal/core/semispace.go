@@ -64,6 +64,7 @@ type Semispace struct {
 	idA     mem.SpaceID
 	idB     mem.SpaceID
 	cur     *mem.Space // allocation space
+	ev      evacuator  // pooled across collections (see evacuator.begin)
 	stats   GCStats
 }
 
@@ -99,40 +100,56 @@ func (c *Semispace) Heap() *mem.Heap { return c.heap }
 // Stats implements Collector.
 func (c *Semispace) Stats() *GCStats { return &c.stats }
 
-// Alloc implements Collector.
+// Alloc implements Collector. The common case — a small object into a
+// space with room — runs straight through the bump allocation: records can
+// never be large, so they skip the LOS threshold compare entirely, and the
+// collect-and-retry sequence is kept out of line.
 func (c *Semispace) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
 	size := obj.SizeWords(k, length)
 	c.chargeAlloc(k, size)
 	if k != obj.Record && length >= c.cfg.LargeObjectWords {
-		if c.los.UsedWords()+size > c.losLimit() {
-			c.Collect(true)
-		}
-		a := c.los.Alloc(k, length, site, mask)
-		c.tr.AllocSite(site, size, false)
-		if c.prof != nil {
-			c.prof.OnAlloc(a, site, k, size)
-		}
-		return a
+		return c.allocLarge(k, length, site, mask, size)
 	}
 	a, ok := obj.Alloc(c.heap, c.cur, k, length, site, mask)
 	if !ok {
-		c.Collect(true)
-		a, ok = obj.Alloc(c.heap, c.cur, k, length, site, mask)
-		if !ok {
-			// The live set genuinely exceeds the budget share (Min is
-			// measured by calibration and can be slightly low). Grow past
-			// the budget rather than dying; the overflow is recorded.
-			c.stats.EmergencyGrows++
-			c.cur = c.heap.GrowSpace(c.cur.ID(), c.cur.Capacity()+size+1024)
-			a, ok = obj.Alloc(c.heap, c.cur, k, length, site, mask)
-			if !ok {
-				panic(fmt.Sprintf("core: semispace emergency growth failed: need %d words", size))
-			}
-		}
+		a = c.allocSlow(k, length, site, mask, size)
 	}
 	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
 		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+// allocLarge is the LOS allocation path, collecting first when the
+// large-object share of the budget is exhausted.
+func (c *Semispace) allocLarge(k obj.Kind, length uint64, site obj.SiteID, mask uint64, size uint64) mem.Addr {
+	if c.los.UsedWords()+size > c.losLimit() {
+		c.Collect(true)
+	}
+	a := c.los.Alloc(k, length, site, mask)
+	c.tr.AllocSite(site, size, false)
+	if c.prof != nil {
+		c.prof.OnAlloc(a, site, k, size)
+	}
+	return a
+}
+
+// allocSlow collects and retries the bump allocation, growing past the
+// budget as a last resort.
+func (c *Semispace) allocSlow(k obj.Kind, length uint64, site obj.SiteID, mask uint64, size uint64) mem.Addr {
+	c.Collect(true)
+	a, ok := obj.Alloc(c.heap, c.cur, k, length, site, mask)
+	if !ok {
+		// The live set genuinely exceeds the budget share (Min is
+		// measured by calibration and can be slightly low). Grow past
+		// the budget rather than dying; the overflow is recorded.
+		c.stats.EmergencyGrows++
+		c.cur = c.heap.GrowSpace(c.cur.ID(), c.cur.Capacity()+size+1024)
+		a, ok = obj.Alloc(c.heap, c.cur, k, length, site, mask)
+		if !ok {
+			panic(fmt.Sprintf("core: semispace emergency growth failed: need %d words", size))
+		}
 	}
 	return a
 }
@@ -200,7 +217,12 @@ func (c *Semispace) Collect(bool) {
 	}
 	// The survivors cannot exceed what was allocated in from-space.
 	to := c.heap.ReplaceSpace(toID, c.cur.Used())
-	ev := newEvacuator(c.heap, c.meter, &c.stats, c.prof, []mem.SpaceID{fromID}, to, c.los)
+	ev := &c.ev
+	if refKernels {
+		ev = new(evacuator)
+	}
+	condemned := [1]mem.SpaceID{fromID}
+	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:], to, c.los)
 	ev.tr = c.tr
 	c.tr.EndPhase(trace.PhaseSetup)
 

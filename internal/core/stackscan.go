@@ -55,7 +55,8 @@ type StackScanner struct {
 	revisitOnMinor bool
 
 	cache       []frameCache
-	lastPushCnt uint64 // stack.FramePushes() at the previous scan
+	keyBuf      []rt.RetKey // pass-1 scratch, pooled across scans
+	lastPushCnt uint64      // stack.FramePushes() at the previous scan
 }
 
 // frameCache holds the decoded results for one frame: the discovered root
@@ -150,7 +151,17 @@ func (sc *StackScanner) Scan(minor bool, visit func(RootLoc)) {
 
 	// Pass 1: decode layouts for frames [reuse, depth) newest→oldest by
 	// following the return-key chain from the current execution point.
-	keys := make([]rt.RetKey, depth)
+	// The key buffer is pooled: at steady state this allocates nothing.
+	// (The reference kernels keep the pre-pooling per-scan allocation.)
+	var keys []rt.RetKey
+	if refKernels {
+		keys = make([]rt.RetKey, depth)
+	} else {
+		if cap(sc.keyBuf) < depth {
+			sc.keyBuf = make([]rt.RetKey, depth)
+		}
+		keys = sc.keyBuf[:depth]
+	}
 	if depth > 0 {
 		keys[depth-1] = sc.stack.CurrentKey()
 		for i := depth - 1; i > reuse; i-- {
@@ -245,7 +256,14 @@ func (sc *StackScanner) decodeFrame(i int, key rt.RetKey, regStatus uint32, visi
 	base := sc.stack.FrameBase(i)
 	isTop := i == sc.stack.FrameCount()-1
 
+	// Recycle the roots slice left behind at this index by a previous
+	// scan's truncated cache entry, so re-decoding a frame at a depth the
+	// scanner has visited before allocates nothing. (The reference kernels
+	// build a fresh slice per frame, the pre-pooling behaviour.)
 	var roots []int
+	if n := len(sc.cache); !refKernels && n < cap(sc.cache) {
+		roots = sc.cache[:n+1][n].roots[:0]
+	}
 	for j := 1; j < fi.Size; j++ {
 		sc.meter.Charge(costmodel.GCStack, costmodel.SlotTrace)
 		if sc.resolveSlotTrace(fi, j, base, regStatus, isTop) {

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"tilgc/internal/core"
+	"tilgc/internal/trace"
+)
+
+// runJSONL renders a traced run's full event stream as JSONL bytes.
+func runJSONL(t *testing.T, r *RunResult) []byte {
+	t.Helper()
+	f := trace.NewFile(r.Trace.Data(r.Config.Label()))
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReferenceKernelsObservationallyIdentical is the end-to-end kernel
+// equivalence proof: real paper workloads run under the optimized kernels
+// and the preserved reference kernels must measure bit-identically —
+// checksums, cycle breakdowns, GC stats, barrier counts, and the entire
+// JSONL trace stream (every phase-boundary cycle stamp and per-site
+// counter). A pair of configs also runs under the heap-integrity
+// sanitizer, so a kernel bug that leaves the heap subtly inconsistent
+// without changing the measurements still fails loudly.
+func TestReferenceKernelsObservationallyIdentical(t *testing.T) {
+	cfgs := detConfigs()
+	for i := range cfgs {
+		cfgs[i].Trace = true
+		cfgs[i].Sanitize = i%3 == 0
+	}
+	for _, cfg := range cfgs {
+		opt, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core.SetReferenceKernels(true)
+		ref, runErr := Run(cfg)
+		core.SetReferenceKernels(false)
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		sameResult(t, opt, ref)
+		if !bytes.Equal(runJSONL(t, opt), runJSONL(t, ref)) {
+			t.Errorf("%s: JSONL traces diverge between optimized and reference kernels", cfg.Label())
+		}
+	}
+}

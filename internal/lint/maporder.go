@@ -223,7 +223,9 @@ func isAppend(info *types.Info, call *ast.CallExpr) bool {
 }
 
 // rootObject resolves an lvalue-ish expression to its base identifier's
-// object: x, x[i], x.f, *x, &x all resolve to x.
+// object: x, x[i], x[i:j], x.f, *x, &x all resolve to x. Slice expressions
+// matter for the sort sinks: appends land in the suffix, so sorting
+// x[start:] launders the appended region's order just like sorting x.
 func rootObject(info *types.Info, e ast.Expr) types.Object {
 	for {
 		switch v := e.(type) {
@@ -233,6 +235,8 @@ func rootObject(info *types.Info, e ast.Expr) types.Object {
 			}
 			return info.Defs[v]
 		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
 			e = v.X
 		case *ast.SelectorExpr:
 			e = v.X

@@ -80,6 +80,18 @@ func CollectSorted(m map[string]int) []string {
 	return keys
 }
 
+// CollectTailSorted appends to a passed-in buffer and sorts the appended
+// suffix: clean — appends always land at the tail, so sorting keys[start:]
+// launders their order.
+func CollectTailSorted(m map[string]int, keys []string) []string {
+	start := len(keys)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys[start:])
+	return keys
+}
+
 // KeyedWrites copies through keyed assignments: clean at any order.
 func KeyedWrites(m map[string]int) map[string]int {
 	out := make(map[string]int, len(m))

@@ -40,8 +40,16 @@ func (a Addr) Space() SpaceID { return SpaceID(a >> offsetBits) }
 // Offset returns the word offset component of the address.
 func (a Addr) Offset() uint64 { return uint64(a & offsetMask) }
 
-// Add returns the address delta words past a, staying within the same space.
-func (a Addr) Add(delta uint64) Addr { return a + Addr(delta) }
+// Add returns the address delta words past a, staying within the same
+// space. Overflowing the offset field would silently carry into the space
+// id — a wrapped Addr aliases an unrelated space and corrupts the heap
+// undetectably — so Add panics instead of wrapping.
+func (a Addr) Add(delta uint64) Addr {
+	if uint64(a&offsetMask)+delta > uint64(offsetMask) {
+		panic(fmt.Sprintf("mem: Addr.Add(%d) overflows offset of %v", delta, a))
+	}
+	return a + Addr(delta)
+}
 
 // IsNil reports whether a is the simulated null pointer.
 func (a Addr) IsNil() bool { return a == Nil }
@@ -60,13 +68,35 @@ type SpaceID uint32
 
 // Space is one contiguous arena with bump allocation. Offsets start at 1:
 // offset 0 of space 0 would collide with the nil address, and keeping the
-// rule uniform across spaces simplifies the math.
+// rule uniform between spaces simplifies the math.
+//
+// Allocations hand out zeroed words. A freshly made arena is already
+// zero, so Alloc only spends a memclr on words below dirtyTo — the
+// high-water mark of words handed out before the last Reset. On the
+// first pass through a fresh arena (the common case: every to-space and
+// every post-GC nursery refill up to the previous high-water mark) the
+// zeroing loop does not run at all.
 type Space struct {
-	id    SpaceID
-	words []uint64
-	top   uint64 // next free word offset; starts at 1
-	limit uint64 // capacity in words (len(words))
+	id      SpaceID
+	words   []uint64
+	top     uint64 // next free word offset; starts at 1
+	limit   uint64 // capacity in words (len(words))
+	dirtyTo uint64 // words below this offset may hold stale data
+	// recycled marks arenas taken from the heap's pool: their storage
+	// beyond the current slice (up to cap) may hold a previous owner's
+	// data, so in-place growth must extend the dirty mark over the tail.
+	// A fresh arena's tail is still zero and stays lazily clean.
+	recycled bool
 }
+
+// eagerZero restores the reference behaviour of zeroing every reserved
+// word on every allocation; see core.SetReferenceKernels.
+var eagerZero bool
+
+// SetEagerZeroing toggles the reference eager-zeroing allocation path.
+// Benchmark/test plumbing only; must not be flipped while allocations are
+// in flight.
+func SetEagerZeroing(on bool) { eagerZero = on }
 
 // NewSpace creates a space holding capacity words of usable storage.
 func NewSpace(id SpaceID, capacity uint64) *Space {
@@ -74,10 +104,11 @@ func NewSpace(id SpaceID, capacity uint64) *Space {
 		panic(fmt.Sprintf("mem: space %d capacity %d exceeds max", id, capacity))
 	}
 	return &Space{
-		id:    id,
-		words: make([]uint64, capacity+1),
-		top:   1,
-		limit: capacity + 1,
+		id:      id,
+		words:   make([]uint64, capacity+1),
+		top:     1,
+		limit:   capacity + 1,
+		dirtyTo: 1, // a fresh arena is all-zero
 	}
 }
 
@@ -85,17 +116,35 @@ func NewSpace(id SpaceID, capacity uint64) *Space {
 func (s *Space) ID() SpaceID { return s.id }
 
 // Alloc reserves n words and returns the address of the first, or false if
-// the space is full. The reserved words are zeroed (arenas are reused).
+// the space is full. The reserved words are zeroed (arenas are reused),
+// but only the slice below the dirty high-water mark needs the memclr —
+// words never handed out since the arena was made are still zero.
 func (s *Space) Alloc(n uint64) (Addr, bool) {
 	if s.top+n > s.limit {
 		return Nil, false
 	}
 	base := s.top
 	s.top += n
-	w := s.words[base : base+n]
-	for i := range w {
-		w[i] = 0
+	if base < s.dirtyTo || eagerZero {
+		end := s.top
+		if end > s.dirtyTo && !eagerZero {
+			end = s.dirtyTo
+		}
+		clear(s.words[base:end])
 	}
+	return MakeAddr(s.id, base), true
+}
+
+// AllocUnzeroed allocates n words without scrubbing previously-used
+// memory. It exists for the evacuator's copy destinations, which are
+// fully overwritten by the bulk copy before any read — zeroing them
+// first would touch every word twice. Callers must write all n words.
+func (s *Space) AllocUnzeroed(n uint64) (Addr, bool) {
+	if s.top+n > s.limit {
+		return Nil, false
+	}
+	base := s.top
+	s.top += n
 	return MakeAddr(s.id, base), true
 }
 
@@ -108,8 +157,21 @@ func (s *Space) Capacity() uint64 { return s.limit - 1 }
 // Free returns the number of words still available.
 func (s *Space) Free() uint64 { return s.limit - s.top }
 
-// Reset discards all allocations, returning the space to empty.
-func (s *Space) Reset() { s.top = 1 }
+// Raw exposes the arena's backing words for kernel hot paths (the Cheney
+// scan reads headers and rewrites pointer fields without a per-word space
+// lookup). The slice aliases live storage: callers must not retain it
+// across a Reset, Replace, or Grow of the space.
+func (s *Space) Raw() []uint64 { return s.words }
+
+// Reset discards all allocations, returning the space to empty. The
+// abandoned words are not scrubbed here; the dirty high-water mark makes
+// the next pass of allocations zero them lazily.
+func (s *Space) Reset() {
+	if s.top > s.dirtyTo {
+		s.dirtyTo = s.top
+	}
+	s.top = 1
+}
 
 // Contains reports whether a points into this space's allocated region.
 func (s *Space) Contains(a Addr) bool {
@@ -120,6 +182,90 @@ func (s *Space) Contains(a Addr) bool {
 // Space ids index into the spaces slice; id 0 is always nil (reserved).
 type Heap struct {
 	spaces []*Space
+	// arenaPool recycles the backing storage of replaced, grown, and freed
+	// spaces. Semispace flips and tenured rebuilds would otherwise allocate
+	// (and have the Go runtime zero) a multi-megabyte arena per collection;
+	// with the pool, steady-state resizes reuse storage and rely on the
+	// dirty high-water mark for lazy scrubbing. Disabled under eager
+	// zeroing, which restores the reference fresh-arena behaviour.
+	arenaPool [][]uint64
+}
+
+// maxPooledArenas bounds the retained storage; beyond it, released arenas
+// go back to the Go allocator.
+const maxPooledArenas = 8
+
+// newSpace builds a space under id, reusing a pooled arena when one is
+// large enough. A recycled arena is stale end to end, so its dirty mark
+// covers the whole extent.
+func (h *Heap) newSpace(id SpaceID, capacity uint64) *Space {
+	if capacity+1 > MaxSpaceWords {
+		panic(fmt.Sprintf("mem: space %d capacity %d exceeds max", id, capacity))
+	}
+	need := capacity + 1
+	if !eagerZero {
+		// Best fit: the smallest pooled arena that is large enough, so a
+		// small request does not burn an arena a big resize needs next.
+		best := -1
+		for i, a := range h.arenaPool {
+			if uint64(cap(a)) >= need && (best < 0 || cap(a) < cap(h.arenaPool[best])) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			a := h.arenaPool[best]
+			h.arenaPool[best] = h.arenaPool[len(h.arenaPool)-1]
+			h.arenaPool = h.arenaPool[:len(h.arenaPool)-1]
+			return &Space{id: id, words: a[:need], top: 1, limit: need, dirtyTo: need, recycled: true}
+		}
+		// Fresh arenas take power-of-two capacity headroom: a heap whose
+		// live set (and with it every resize request) grows monotonically
+		// would otherwise defeat both the pool and in-place growth, paying
+		// a full allocate-zero-copy cycle per collection.
+		return &Space{
+			id:      id,
+			words:   make([]uint64, need, arenaCap(need)),
+			top:     1,
+			limit:   need,
+			dirtyTo: 1,
+		}
+	}
+	return NewSpace(id, capacity)
+}
+
+// arenaCap rounds a fresh arena request up to the next power of two (at
+// least 4K words), bounding slack at 2x.
+func arenaCap(need uint64) uint64 {
+	c := uint64(4096)
+	for c < need {
+		c <<= 1
+	}
+	if c > MaxSpaceWords {
+		c = MaxSpaceWords
+	}
+	return c
+}
+
+// releaseArena parks a retired space's storage for reuse. A full pool
+// evicts its smallest arena when the incoming one is larger — big arenas
+// (the semispace and tenured resizes) are the expensive ones to refetch.
+func (h *Heap) releaseArena(s *Space) {
+	if s == nil || eagerZero {
+		return
+	}
+	if len(h.arenaPool) < maxPooledArenas {
+		h.arenaPool = append(h.arenaPool, s.words)
+		return
+	}
+	small := 0
+	for i := 1; i < len(h.arenaPool); i++ {
+		if cap(h.arenaPool[i]) < cap(h.arenaPool[small]) {
+			small = i
+		}
+	}
+	if cap(h.arenaPool[small]) < cap(s.words) {
+		h.arenaPool[small] = s.words
+	}
 }
 
 // NewHeap creates an empty heap with the reserved nil space slot.
@@ -130,7 +276,7 @@ func NewHeap() *Heap {
 // AddSpace creates and registers a new space of the given capacity.
 func (h *Heap) AddSpace(capacity uint64) *Space {
 	id := SpaceID(len(h.spaces))
-	s := NewSpace(id, capacity)
+	s := h.newSpace(id, capacity)
 	h.spaces = append(h.spaces, s)
 	return s
 }
@@ -142,7 +288,8 @@ func (h *Heap) ReplaceSpace(id SpaceID, capacity uint64) *Space {
 	if int(id) <= 0 || int(id) >= len(h.spaces) {
 		panic(fmt.Sprintf("mem: ReplaceSpace of unknown space %d", id))
 	}
-	s := NewSpace(id, capacity)
+	h.releaseArena(h.spaces[id])
+	s := h.newSpace(id, capacity)
 	h.spaces[id] = s
 	return s
 }
@@ -157,9 +304,25 @@ func (h *Heap) GrowSpace(id SpaceID, capacity uint64) *Space {
 	if capacity < old.Used() {
 		panic(fmt.Sprintf("mem: GrowSpace(%d, %d) below used %d", id, capacity, old.Used()))
 	}
-	s := NewSpace(id, capacity)
+	need := capacity + 1
+	if !eagerZero && uint64(cap(old.words)) >= need {
+		// The arena is already big enough: resize in place, no copy. A
+		// recycled arena's tail past the old extent is a previous owner's
+		// stale storage, so the dirty mark moves out over the whole new
+		// extent; a fresh arena's tail is still zero.
+		old.words = old.words[:need]
+		old.limit = need
+		if old.recycled {
+			old.dirtyTo = need
+		} else if old.dirtyTo > need {
+			old.dirtyTo = need
+		}
+		return old
+	}
+	s := h.newSpace(id, capacity)
 	copy(s.words, old.words[:old.top])
 	s.top = old.top
+	h.releaseArena(old)
 	h.spaces[id] = s
 	return s
 }
@@ -171,6 +334,7 @@ func (h *Heap) FreeSpace(id SpaceID) {
 	if int(id) <= 0 || int(id) >= len(h.spaces) {
 		panic(fmt.Sprintf("mem: FreeSpace of unknown space %d", id))
 	}
+	h.releaseArena(h.spaces[id])
 	h.spaces[id] = nil
 }
 

@@ -38,8 +38,23 @@ func (b *SSB) Record(addr mem.Addr) {
 // returned because Drain reuses the backing array: a caller holding the
 // internal slice across a Drain/Record cycle would observe the buffer
 // mutating under it (and a caller appending would corrupt the barrier).
+// Inspection-time use only (the sanitizer snapshots the buffer); the
+// collector's per-GC drain is DrainTo, which does not allocate.
 func (b *SSB) Entries() []mem.Addr {
 	return slices.Clone(b.entries)
+}
+
+// DrainTo invokes fn on every buffered entry in record order, then empties
+// the buffer. Unlike Entries it does not copy: the mutator is stopped
+// while the collector drains, so no Record can run concurrently, and fn
+// must not call Record or Drain itself. This is the minor-GC path —
+// draining allocates nothing on the Go heap no matter how many updates
+// the mutator buffered.
+func (b *SSB) DrainTo(fn func(mem.Addr)) {
+	for _, fa := range b.entries {
+		fn(fa)
+	}
+	b.entries = b.entries[:0]
 }
 
 // Drain empties the buffer (after the collector has processed it).
@@ -102,12 +117,20 @@ func (c *CardTable) Covers(addr mem.Addr) bool {
 // map iteration order here would violate DESIGN.md's bit-for-bit
 // reproducibility guarantee.
 func (c *CardTable) Cards() []uint64 {
-	ids := make([]uint64, 0, len(c.dirty))
+	return c.AppendCards(nil)
+}
+
+// AppendCards appends the dirty card ids in ascending address order to
+// dst and returns the extended slice. Collectors pass a buffer retained
+// across collections so the per-GC card walk allocates nothing once the
+// buffer has grown to the working-set size.
+func (c *CardTable) AppendCards(dst []uint64) []uint64 {
+	start := len(dst)
 	for id := range c.dirty {
-		ids = append(ids, id)
+		dst = append(dst, id)
 	}
-	slices.Sort(ids)
-	return ids
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // Drain clears all dirty cards.

@@ -39,3 +39,97 @@ func TestSSBEntriesIsSnapshot(t *testing.T) {
 		t.Fatalf("TotalRecorded = %d, want 4", b.TotalRecorded())
 	}
 }
+
+// TestSSBDrainTo: the collector's drain path must visit every entry in
+// record order (duplicates included — the Peg overhead), then empty the
+// buffer so the next mutator epoch starts fresh.
+func TestSSBDrainTo(t *testing.T) {
+	b := NewSSB(costmodel.NewMeter())
+	want := []mem.Addr{0x100, 0x108, 0x100, 0x200}
+	for _, a := range want {
+		b.Record(a)
+	}
+	var got []mem.Addr
+	b.DrainTo(func(a mem.Addr) { got = append(got, a) })
+	if len(got) != len(want) {
+		t.Fatalf("DrainTo visited %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %v, want %v (record order)", i, got[i], want[i])
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after DrainTo = %d, want 0", b.Len())
+	}
+	b.Record(0x300)
+	if b.Len() != 1 || b.TotalRecorded() != 5 {
+		t.Fatalf("post-drain Record: Len=%d Total=%d", b.Len(), b.TotalRecorded())
+	}
+}
+
+// TestSSBDrainToDoesNotAllocate pins the whole point of DrainTo over
+// Entries: once the buffer's backing array has grown, a record/drain cycle
+// performs no Go allocations regardless of entry count.
+func TestSSBDrainToDoesNotAllocate(t *testing.T) {
+	b := NewSSB(costmodel.NewMeter())
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			b.Record(mem.Addr(0x1000 + 8*i))
+		}
+		b.DrainTo(func(mem.Addr) {})
+	}
+	cycle() // grow the backing array
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("record/drain cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestCardTableAppendCards: AppendCards must sort the appended suffix into
+// ascending order, leave any existing prefix untouched, and allocate
+// nothing when the destination buffer has capacity.
+func TestCardTableAppendCards(t *testing.T) {
+	c := NewCardTable(costmodel.NewMeter(), 3) // 8-word cards
+	for _, a := range []mem.Addr{0x500, 0x10, 0x308, 0x18, 0x700} {
+		c.Record(a)
+	}
+	want := []uint64{0x10 >> 3, 0x18 >> 3, 0x308 >> 3, 0x500 >> 3, 0x700 >> 3}
+
+	got := c.AppendCards(nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendCards(nil) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("card %d = %#x, want %#x (sorted order)", i, got[i], want[i])
+		}
+	}
+
+	// A sentinel prefix survives, and the suffix is sorted independently.
+	buf := append(make([]uint64, 0, 16), ^uint64(0))
+	buf = c.AppendCards(buf)
+	if buf[0] != ^uint64(0) {
+		t.Fatalf("prefix overwritten: %#x", buf[0])
+	}
+	for i := range want {
+		if buf[1+i] != want[i] {
+			t.Fatalf("suffix card %d = %#x, want %#x", i, buf[1+i], want[i])
+		}
+	}
+
+	// Steady state: reuse of a grown buffer across drain cycles is
+	// allocation-free.
+	c.Drain()
+	var pool []uint64
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			c.Record(mem.Addr(0x2000 + 64*i))
+		}
+		pool = c.AppendCards(pool[:0])
+		c.Drain()
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("card record/drain cycle allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -103,7 +103,12 @@ func (r *Recorder) EndGC(c GCCounters) {
 	}
 	r.gcOpen = false
 	b := r.meter.Snapshot()
-	r.events = append(r.events, Event{Kind: EvGCEnd, Seq: r.seq, Break: b, Counters: &c})
+	// Copy into a local before taking the address: &c would make the
+	// parameter itself escape, and escaping parameters are heap-allocated
+	// in the prologue — i.e. on every call, including nil-recorder calls
+	// from untraced runs, breaking the collectors' zero-allocation GC path.
+	cc := c
+	r.events = append(r.events, Event{Kind: EvGCEnd, Seq: r.seq, Break: b, Counters: &cc})
 	r.gcCount.Add(1)
 	r.gcMajors.Add(c.Majors)
 	r.pauseHist.Observe(uint64(b.GC() - r.gcBegin.GC()))
