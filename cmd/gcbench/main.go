@@ -11,6 +11,10 @@
 //	gcbench -table 5 -metrics      # per-run metrics table after the sweep
 //	gcbench -figure 2              # Figure 2 heap profiles
 //	gcbench -experiment elide      # §7.2 scan-elision extension
+//	gcbench -experiment adapt      # §9 online adaptive pretenuring
+//	gcbench -table 4 -adapt                 # attach the online advisor to every gen run
+//	gcbench -table 4 -adapt -adapt-store s.jsonl  # ... and store the learned profiles
+//	gcbench -table 4 -adapt -adapt-warm s.jsonl   # ... warm-started from a stored run
 //	gcbench -experiment all        # everything, in paper order
 //	gcbench -list                  # list benchmarks and experiments
 //
@@ -49,6 +53,12 @@ func main() {
 		"capture a per-run GC trace of every experiment run to FILE (cycle-timestamped, byte-identical under -parallel)")
 	traceFormat := flag.String("trace-format", "jsonl",
 		"trace sink format: jsonl (schema-versioned, gctrace-readable) or chrome (Perfetto-loadable)")
+	adaptRuns := flag.Bool("adapt", false,
+		"attach the online adaptive-pretenuring advisor to every generational run (semispace runs are unaffected)")
+	adaptStore := flag.String("adapt-store", "",
+		"write the advisor profiles learned by every adaptive run to FILE as a warm-startable store (implies -adapt)")
+	adaptWarm := flag.String("adapt-warm", "",
+		"warm-start every adaptive run from the profile store at FILE (implies -adapt)")
 	metrics := flag.Bool("metrics", false,
 		"print every run's metrics registry (counters, gauges, pause histogram) after the experiment")
 	list := flag.Bool("list", false, "list benchmarks and experiments")
@@ -94,6 +104,32 @@ func main() {
 	if *progress {
 		opts.Events = progressWriter
 	}
+	// Adaptive pretenuring: -adapt turns the advisor on for every
+	// generational run; -adapt-warm seeds it from a stored profile and
+	// -adapt-store collects what this invocation learned. The store sink
+	// receives batches in input order, so the written file is byte-identical
+	// at every -parallel level (the `adapt` CI job diffs exactly that).
+	opts.Adapt = *adaptRuns || *adaptStore != "" || *adaptWarm != ""
+	if *adaptWarm != "" {
+		in, err := os.Open(*adaptWarm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		store, err := gcsim.ReadAdaptStore(in)
+		in.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcbench: reading -adapt-warm store: %v\n", err)
+			os.Exit(1)
+		}
+		opts.AdaptWarm = store
+	}
+	var adaptProfiles []*gcsim.AdaptProfile
+	if *adaptStore != "" {
+		opts.AdaptSink = func(batch []*gcsim.AdaptProfile) {
+			adaptProfiles = append(adaptProfiles, batch...)
+		}
+	}
 	// Trace capture: the experiment renderers batch runs through the
 	// harness internally, so the sink is how the per-run recorders reach
 	// us. Batches arrive in the order the experiment issues them and each
@@ -131,6 +167,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *adaptStore != "" {
+		if err := writeAdaptStore(adaptProfiles, *adaptStore); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "gcbench: wrote advisor store of %d profiles to %s\n",
+			len(adaptProfiles), *adaptStore)
+	}
+
 	if opts.TraceSink != nil {
 		f := trace.NewFile(traceRuns...)
 		if *traceOut != "" {
@@ -149,6 +194,20 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeAdaptStore serializes the collected advisor profiles.
+func writeAdaptStore(profiles []*gcsim.AdaptProfile, path string) error {
+	store := &gcsim.AdaptStore{Profiles: profiles}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = store.WriteJSONL(out)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTrace renders the assembled trace file in the requested format.

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 
+	"tilgc/internal/adapt"
 	"tilgc/internal/core"
 	"tilgc/internal/costmodel"
 	"tilgc/internal/harness"
@@ -306,7 +307,7 @@ const (
 
 // Experiment regenerates one of the paper's tables or figures, writing
 // the rendered result to w. Valid names: "table1" ... "table7",
-// "figure2", "elide", "barrier", "markersweep".
+// "figure2", "elide", "barrier", "markersweep", "adapt".
 func Experiment(w io.Writer, name string, scale Scale) error {
 	return ExperimentOpts(w, name, scale, RunOptions{})
 }
@@ -339,6 +340,8 @@ func ExperimentOpts(w io.Writer, name string, scale Scale, opts RunOptions) erro
 	case "markersweep":
 		return harness.MarkerSweep(w, scale,
 			[]string{"Knuth-Bendix", "Color"}, []int{5, 10, 25, 50, 100}, opts)
+	case "adapt":
+		return harness.ExperimentAdapt(w, scale, opts)
 	}
 	return fmt.Errorf("gcsim: unknown experiment %q", name)
 }
@@ -348,7 +351,32 @@ func Experiments() []string {
 	return []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"table7", "figure2", "elide", "barrier", "aging", "markersweep",
+		"adapt",
 	}
+}
+
+// ---- Adaptive pretenuring ---------------------------------------------------
+
+// Re-exported adaptive-pretenuring store types (§9). An AdaptStore is the
+// schema-versioned cross-run profile store; each AdaptProfile inside it
+// seeds one workload's advisor on a warm start (RunOptions.AdaptWarm).
+type (
+	// AdaptStore is a collection of stored advisor profiles.
+	AdaptStore = adapt.Store
+	// AdaptProfile is one run's stored advisor state.
+	AdaptProfile = adapt.RunProfile
+)
+
+// ReadAdaptStore decodes a profile store from its JSONL serialization,
+// rejecting unknown schema versions with a descriptive error.
+func ReadAdaptStore(r io.Reader) (*AdaptStore, error) { return adapt.ReadJSONL(r) }
+
+// AdaptProfileFromProfiler converts a finalized offline heap profile into
+// a warm-startable advisor profile: sites whose old% meets cutoffPct with
+// at least minObjects allocations are seeded as pretenured (the paper's
+// §6 rule), and every profiled site contributes its survival evidence.
+func AdaptProfileFromProfiler(p *Profiler, label, workload string, cutoffPct float64, minObjects uint64) *AdaptProfile {
+	return adapt.FromProfile(p, label, workload, cutoffPct, minObjects)
 }
 
 // DefaultScale is the scale used by the command-line tools: large enough

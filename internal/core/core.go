@@ -120,7 +120,9 @@ func (s *GCStats) AvgNewFrames() float64 {
 // Profiler when profiling is off.
 type Profiler interface {
 	// OnAlloc records an allocation of words words at addr from site.
-	OnAlloc(addr mem.Addr, site obj.SiteID, k obj.Kind, words uint64)
+	// pretenured marks the direct-to-tenured allocation path (§6), whether
+	// chosen by a static policy or by the online advisor (§9).
+	OnAlloc(addr mem.Addr, site obj.SiteID, k obj.Kind, words uint64, pretenured bool)
 	// OnMove records that the object at from was copied to to.
 	OnMove(from, to mem.Addr)
 	// OnSpaceCondemned declares that every tracked object still recorded
@@ -130,6 +132,16 @@ type Profiler interface {
 	OnLOSDead(addr mem.Addr)
 	// OnGCEnd marks the end of a collection cycle.
 	OnGCEnd()
+}
+
+// SiteAdvisor is the allocation-path hook for online adaptive pretenuring
+// (§9): the generational collector consults it on every small-object
+// allocation (when configured) and sends the site to the tenured
+// generation on a true answer. Implementations must be deterministic
+// functions of the simulated event stream — the advisor in internal/adapt
+// charges its probe cost to the meter's Adapt component itself.
+type SiteAdvisor interface {
+	ShouldPretenure(site obj.SiteID) bool
 }
 
 // RootLoc identifies a location holding a root pointer: either an absolute

@@ -41,6 +41,12 @@ type GenConfig struct {
 	// Pretenure, when non-nil, allocates the selected sites directly
 	// into the tenured generation (§6).
 	Pretenure *PretenurePolicy
+	// Advisor, when non-nil, is consulted on every small-object allocation
+	// whose site the static policy did not select: a true answer sends the
+	// allocation to the tenured generation (§9 online adaptive
+	// pretenuring). The advisor may change its answers between
+	// collections (promotion and demotion).
+	Advisor SiteAdvisor
 	// ScanElision enables the §7.2 extension: pretenured objects whose
 	// site is flagged OnlyOldRefs are exempted from the region scan.
 	ScanElision bool
@@ -116,6 +122,13 @@ type Generational struct {
 	// skips the per-site policy probe entirely when no site is selected.
 	pretenureOn bool
 
+	// advPolicy accumulates every site the advisor has ever sent to the
+	// tenured generation. Demotion does not remove entries: a region
+	// allocated before the demotion legitimately holds the site's objects
+	// until the next minor scan clears it, so the integrity checker's
+	// policy view (Inspect) must keep naming it.
+	advPolicy *PretenurePolicy
+
 	// Pooled per-collection scratch (see evacuator.begin): the evacuator
 	// itself, the sorted dirty-card ids, and the expanded card field
 	// addresses. Reused so steady-state minor collections allocate
@@ -141,6 +154,9 @@ func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg
 		c.ssb = rt.NewSSB(meter)
 	}
 	c.pretenureOn = cfg.Pretenure.Len() > 0
+	if cfg.Advisor != nil {
+		c.advPolicy = NewPretenurePolicy(nil)
+	}
 	c.nursery = heap.AddSpace(cfg.NurseryWords)
 	c.tenCap = c.initialTenCap()
 	// The tenured arena starts small and grows on demand (GrowSpace
@@ -199,6 +215,9 @@ func (c *Generational) Name() string {
 			n += "+elide"
 		}
 	}
+	if c.cfg.Advisor != nil {
+		n += "+adapt"
+	}
 	if c.cfg.UseCardTable {
 		n += "+cards"
 	}
@@ -242,6 +261,12 @@ func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask ui
 			return c.allocPretenured(k, length, site, mask, size)
 		}
 	}
+	// The online advisor (§9) decides per allocation; its answers change
+	// at collection boundaries as sites are promoted and demoted.
+	if c.cfg.Advisor != nil && c.cfg.Advisor.ShouldPretenure(site) {
+		c.advPolicy.sites[site] = PretenureDecision{}
+		return c.allocPretenured(k, length, site, mask, size)
+	}
 
 	a, ok := obj.Alloc(c.heap, c.nursery, k, length, site, mask)
 	if !ok {
@@ -249,7 +274,7 @@ func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask ui
 	}
 	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
-		c.prof.OnAlloc(a, site, k, size)
+		c.prof.OnAlloc(a, site, k, size, false)
 	}
 	return a
 }
@@ -263,7 +288,7 @@ func (c *Generational) allocLarge(k obj.Kind, length uint64, site obj.SiteID, ma
 	a := c.los.Alloc(k, length, site, mask)
 	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
-		c.prof.OnAlloc(a, site, k, size)
+		c.prof.OnAlloc(a, site, k, size, false)
 	}
 	return a
 }
@@ -316,7 +341,7 @@ func (c *Generational) allocPretenured(k obj.Kind, length uint64, site obj.SiteI
 	c.stats.Pretenured++
 	c.tr.AllocSite(site, size, true)
 	if c.prof != nil {
-		c.prof.OnAlloc(a, site, k, size)
+		c.prof.OnAlloc(a, site, k, size, true)
 	}
 	return a
 }

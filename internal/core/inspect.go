@@ -79,7 +79,7 @@ func (c *Generational) Inspect() Inspection {
 		Cards:        c.cards,
 		Sticky:       slices.Clone(c.sticky),
 		FreshLOS:     slices.Clone(c.los.Fresh()),
-		Policy:       c.cfg.Pretenure,
+		Policy:       mergePolicies(c.cfg.Pretenure, c.advPolicy),
 		ScanElision:  c.cfg.ScanElision,
 
 		LargeObjectWords: c.cfg.LargeObjectWords,

@@ -64,6 +64,27 @@ func (p *PretenurePolicy) Sites() []obj.SiteID {
 	return ids
 }
 
+// mergePolicies returns the union of two policies (either may be nil).
+// When only one is non-nil it is returned as-is; the merged copy is only
+// built when both contribute, so the common static-only and advisor-only
+// configurations pay nothing.
+func mergePolicies(a, b *PretenurePolicy) *PretenurePolicy {
+	if b.Len() == 0 {
+		return a
+	}
+	if a.Len() == 0 {
+		return b
+	}
+	m := make(map[obj.SiteID]PretenureDecision, a.Len()+b.Len())
+	for k, v := range a.sites {
+		m[k] = v
+	}
+	for k, v := range b.sites {
+		m[k] = v
+	}
+	return &PretenurePolicy{sites: m}
+}
+
 // region is a contiguous range of tenured words allocated into directly
 // (pretenured objects) since the last minor collection. The collector
 // "remember[s] the area of the older generation that has been directly

@@ -116,7 +116,7 @@ func (c *Semispace) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint6
 	}
 	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
-		c.prof.OnAlloc(a, site, k, size)
+		c.prof.OnAlloc(a, site, k, size, false)
 	}
 	return a
 }
@@ -130,7 +130,7 @@ func (c *Semispace) allocLarge(k obj.Kind, length uint64, site obj.SiteID, mask 
 	a := c.los.Alloc(k, length, site, mask)
 	c.tr.AllocSite(site, size, false)
 	if c.prof != nil {
-		c.prof.OnAlloc(a, site, k, size)
+		c.prof.OnAlloc(a, site, k, size, false)
 	}
 	return a
 }

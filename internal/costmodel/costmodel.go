@@ -64,6 +64,14 @@ const (
 	CachedRoot     Cycles = 4  // re-trace one cached root location (major GC)
 	MarkerPlace    Cycles = 25 // install one stack marker (stub + table entry)
 	WatermarkCheck Cycles = 60 // per-GC marker-table/watermark maintenance
+
+	// Adaptive-pretenuring advisor costs (§9). The advisor is charged
+	// separately from client and collector work so the adaptive-vs-offline
+	// comparison stays honest: its probes, per-event sampling, and
+	// per-collection decision folds appear in their own meter bucket.
+	AdaptProbe     Cycles = 1 // allocation-path advisor lookup (cached-set probe)
+	AdaptSample    Cycles = 2 // record one survival/death sample into site state
+	AdaptEpochSite Cycles = 4 // per-site decision-fold work at a collection boundary
 )
 
 // Component names a bucket of charged cycles.
@@ -77,6 +85,11 @@ const (
 	// GCCopy is collector time spent scanning and copying the heap
 	// ("GC-copy"), including SSB processing and large-object sweeping.
 	GCCopy
+	// Adapt is time spent by the online pretenuring advisor (§9):
+	// allocation-path probes, survival sampling, and decision folds. It is
+	// outside GC() so the paper's Table 5 breakdown is unchanged, but
+	// inside Total() so adaptive overhead is never free.
+	Adapt
 	numComponents
 )
 
@@ -89,6 +102,8 @@ func (c Component) String() string {
 		return "gc-stack"
 	case GCCopy:
 		return "gc-copy"
+	case Adapt:
+		return "adapt"
 	}
 	return "unknown"
 }
@@ -116,7 +131,7 @@ func (m *Meter) Get(c Component) Cycles { return m.buckets[c] }
 func (m *Meter) GC() Cycles { return m.buckets[GCStack] + m.buckets[GCCopy] }
 
 // Total returns all charged cycles.
-func (m *Meter) Total() Cycles { return m.buckets[Client] + m.GC() }
+func (m *Meter) Total() Cycles { return m.buckets[Client] + m.GC() + m.buckets[Adapt] }
 
 // Reset zeroes the meter.
 func (m *Meter) Reset() { m.buckets = [numComponents]Cycles{} }
@@ -127,6 +142,7 @@ func (m *Meter) Snapshot() Breakdown {
 		Client:  m.buckets[Client],
 		GCStack: m.buckets[GCStack],
 		GCCopy:  m.buckets[GCCopy],
+		Adapt:   m.buckets[Adapt],
 	}
 }
 
@@ -135,13 +151,14 @@ type Breakdown struct {
 	Client  Cycles
 	GCStack Cycles
 	GCCopy  Cycles
+	Adapt   Cycles
 }
 
 // GC returns total collector cycles in the breakdown.
 func (b Breakdown) GC() Cycles { return b.GCStack + b.GCCopy }
 
 // Total returns all cycles in the breakdown.
-func (b Breakdown) Total() Cycles { return b.Client + b.GC() }
+func (b Breakdown) Total() Cycles { return b.Client + b.GC() + b.Adapt }
 
 // Sub returns the component-wise difference b - other.
 func (b Breakdown) Sub(other Breakdown) Breakdown {
@@ -149,5 +166,6 @@ func (b Breakdown) Sub(other Breakdown) Breakdown {
 		Client:  b.Client - other.Client,
 		GCStack: b.GCStack - other.GCStack,
 		GCCopy:  b.GCCopy - other.GCCopy,
+		Adapt:   b.Adapt - other.Adapt,
 	}
 }

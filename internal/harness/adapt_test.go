@@ -1,0 +1,320 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tilgc/internal/adapt"
+	"tilgc/internal/obj"
+	"tilgc/internal/trace"
+	"tilgc/internal/workload"
+)
+
+// psNodeSite is PhaseShift's phase-shifting record site (psSiteNode in
+// internal/workload/phaseshift.go): ~100% survival in phase 1, instant
+// death in phase 2.
+const psNodeSite obj.SiteID = 1200
+
+// psAdaptCfg is the reference adaptive phase-shift run the hysteresis and
+// ablation tests pin against.
+func psAdaptCfg() RunConfig {
+	return RunConfig{
+		Workload: "PhaseShift", Scale: workload.Scale{Repeat: 0.1},
+		Kind: KindGenerational, K: 1.5, Adapt: true,
+	}
+}
+
+// TestAdaptPhaseShiftHysteresis pins the §9 decision sequence on the
+// phase-shift workload: the node site is promoted exactly once (on the
+// phase-1 survival evidence) and demoted exactly once (at the major
+// collection its own tenured garbage forces in phase 2), at these exact
+// simulated-cycle timestamps. The pins are golden values: any change to
+// the cost model, the advisor's thresholds, or the workload moves them
+// and must be reviewed deliberately.
+func TestAdaptPhaseShiftHysteresis(t *testing.T) {
+	r, err := Run(psAdaptCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Adapt == nil {
+		t.Fatal("adaptive run returned no advisor snapshot")
+	}
+	var node []adapt.Decision
+	for _, d := range r.Adapt.Decisions {
+		if d.Site == psNodeSite {
+			node = append(node, d)
+		}
+	}
+	if len(node) != 2 {
+		t.Fatalf("node-site decisions = %+v, want exactly promote+demote", node)
+	}
+	prom, dem := node[0], node[1]
+	if prom.Verb != trace.AdaptPromote || dem.Verb != trace.AdaptDemote {
+		t.Fatalf("decision verbs %q,%q, want promote,demote", prom.Verb, dem.Verb)
+	}
+	if prom.Epoch != 1 || prom.Cycles != 283189 {
+		t.Errorf("promotion at epoch %d cycle %d, want epoch 1 cycle 283189", prom.Epoch, prom.Cycles)
+	}
+	if prom.SurvivalPPM != 1_000_000 || prom.SampleWords != 17080 {
+		t.Errorf("promotion evidence surv=%d mass=%d, want 1000000/17080", prom.SurvivalPPM, prom.SampleWords)
+	}
+	if dem.Epoch != 2 || dem.Cycles != 392859 {
+		t.Errorf("demotion at epoch %d cycle %d, want epoch 2 cycle 392859", dem.Epoch, dem.Cycles)
+	}
+	if dem.GarbagePPM != 1_000_000 {
+		t.Errorf("demotion garbage = %d ppm, want 1000000 (every placed word died)", dem.GarbagePPM)
+	}
+	// The site must end the run demoted with the full episode history.
+	for _, s := range r.Adapt.Sites {
+		if s.Site != psNodeSite {
+			continue
+		}
+		if s.Pretenured || s.Promotions != 1 || s.Demotions != 1 {
+			t.Fatalf("node site end state: %+v", s)
+		}
+	}
+}
+
+// TestAdaptDemotionReclaimsTenuredGarbage is the ablation acceptance
+// check: with demotion disabled, the mistrained site keeps pouring
+// garbage into the tenured generation — visibly more pretenured
+// placements, more forced major collections, more collector cycles. The
+// demotion machinery must claw all three back.
+func TestAdaptDemotionReclaimsTenuredGarbage(t *testing.T) {
+	withDem, err := Run(psAdaptCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := psAdaptCfg()
+	cfg.AdaptNoDemote = true
+	noDem, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noDem.Adapt.Demotions != 0 {
+		t.Fatalf("AdaptNoDemote run demoted %d times", noDem.Adapt.Demotions)
+	}
+	if withDem.Adapt.Demotions == 0 {
+		t.Fatal("demotion-enabled run never demoted")
+	}
+	if 2*withDem.Stats.Pretenured >= noDem.Stats.Pretenured {
+		t.Errorf("pretenured placements %d vs %d without demotion — demotion did not stop the garbage",
+			withDem.Stats.Pretenured, noDem.Stats.Pretenured)
+	}
+	if withDem.Stats.NumMajor >= noDem.Stats.NumMajor {
+		t.Errorf("majors %d vs %d without demotion — tenured-garbage growth not reclaimed",
+			withDem.Stats.NumMajor, noDem.Stats.NumMajor)
+	}
+	if withDem.Times.GC() >= noDem.Times.GC() {
+		t.Errorf("GC cycles %d vs %d without demotion", withDem.Times.GC(), noDem.Times.GC())
+	}
+}
+
+// TestAdaptColdStartRecovery is the headline acceptance criterion: on a
+// standard long-lived workload (Simple, one of the paper's four
+// pretenuring winners), the online advisor starting cold must recover at
+// least half of the copy-cost reduction that offline (train == test)
+// pretenuring achieves over no pretenuring.
+func TestAdaptColdStartRecovery(t *testing.T) {
+	scale := workload.Scale{Repeat: 0.02, Depth: 0.3}
+	none, err := Run(RunConfig{Workload: "Simple", Scale: scale, Kind: KindGenerational})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Run(RunConfig{Workload: "Simple", Scale: scale, Kind: KindGenPretenure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(RunConfig{Workload: "Simple", Scale: scale, Kind: KindGenerational, Adapt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := int64(none.Stats.BytesCopied) - int64(oracle.Stats.BytesCopied)
+	online := int64(none.Stats.BytesCopied) - int64(cold.Stats.BytesCopied)
+	if offline <= 0 {
+		t.Fatalf("offline pretenuring saves no copying on Simple (%d vs %d) — acceptance baseline gone",
+			none.Stats.BytesCopied, oracle.Stats.BytesCopied)
+	}
+	if 2*online < offline {
+		t.Errorf("cold-start recovery %d of %d copied bytes (%.0f%%), want at least half",
+			online, offline, 100*float64(online)/float64(offline))
+	}
+}
+
+// TestAdaptWarmStartFromStore: a profile stored by one run warm-starts
+// the next, the warm promotion lands at epoch 0 (before any collection),
+// and the warm run copies no more than the cold run.
+func TestAdaptWarmStartFromStore(t *testing.T) {
+	scale := workload.Scale{Repeat: 0.02, Depth: 0.3}
+	cfg := RunConfig{Workload: "Simple", Scale: scale, Kind: KindGenerational, Adapt: true}
+	cold, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.AdaptProfile == nil {
+		t.Fatal("adaptive run produced no store profile")
+	}
+	// Round-trip the profile through store bytes, as gcbench would.
+	var buf bytes.Buffer
+	if err := (&adapt.Store{Profiles: []*adapt.RunProfile{cold.AdaptProfile}}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	store, err := adapt.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.AdaptWarm = store.Find("Simple")
+	if warmCfg.AdaptWarm == nil {
+		t.Fatal("stored profile not found by workload name")
+	}
+	warm, err := Run(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Adapt.Decisions) == 0 || warm.Adapt.Decisions[0].Verb != trace.AdaptWarm ||
+		warm.Adapt.Decisions[0].Epoch != 0 {
+		t.Fatalf("first warm-run decision = %+v, want warm at epoch 0", warm.Adapt.Decisions)
+	}
+	if warm.Stats.BytesCopied > cold.Stats.BytesCopied {
+		t.Errorf("warm start copied %d > cold %d", warm.Stats.BytesCopied, cold.Stats.BytesCopied)
+	}
+}
+
+// adaptStoreBytes assembles profiles into store bytes the way gcbench's
+// -adapt-store flag does.
+func adaptStoreBytes(t *testing.T, profiles []*adapt.RunProfile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := (&adapt.Store{Profiles: profiles}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAdaptRunDeterministic: the full adaptive result — measurements,
+// decision list, site states, and the store bytes — is identical when the
+// run repeats.
+func TestAdaptRunDeterministic(t *testing.T) {
+	cfg := psAdaptCfg()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, a, b)
+	if !reflect.DeepEqual(a.Adapt, b.Adapt) {
+		t.Error("advisor snapshots differ between identical runs")
+	}
+	sa := adaptStoreBytes(t, []*adapt.RunProfile{a.AdaptProfile})
+	sb := adaptStoreBytes(t, []*adapt.RunProfile{b.AdaptProfile})
+	if !bytes.Equal(sa, sb) {
+		t.Errorf("store bytes differ between identical runs:\n%s\nvs\n%s", sa, sb)
+	}
+}
+
+// TestAdaptParallelMatchesSerial: an adaptive sweep assembled through
+// RunAll's AdaptSink produces byte-identical store files (and identical
+// snapshots) at parallelism 1 and 8 — the ISSUE's serial-vs-parallel
+// acceptance bar extended to the store.
+func TestAdaptParallelMatchesSerial(t *testing.T) {
+	cfgs := []RunConfig{
+		{Workload: "PhaseShift", Scale: workload.Scale{Repeat: 0.1}, Kind: KindGenerational, K: 1.5},
+		{Workload: "Life", Scale: tiny, Kind: KindGenerational, K: 2},
+		{Workload: "Nqueen", Scale: tiny, Kind: KindSemispace, K: 4}, // advisor skips semispace
+		{Workload: "Simple", Scale: tiny, Kind: KindGenMarkers, K: 2},
+	}
+	run := func(par int) ([]byte, []*RunResult) {
+		var profiles []*adapt.RunProfile
+		rs, err := RunAll(cfgs, Options{
+			Parallelism: par,
+			AdaptSink:   func(ps []*adapt.RunProfile) { profiles = append(profiles, ps...) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return adaptStoreBytes(t, profiles), rs
+	}
+	serialStore, serialRs := run(1)
+	ClearCalibrationCache()
+	parStore, parRs := run(8)
+	if !bytes.Equal(serialStore, parStore) {
+		t.Errorf("assembled store differs serial vs parallel:\n%s\nvs\n%s", serialStore, parStore)
+	}
+	for i := range serialRs {
+		sameResult(t, serialRs[i], parRs[i])
+		if !reflect.DeepEqual(serialRs[i].Adapt, parRs[i].Adapt) {
+			t.Errorf("slot %d advisor snapshot differs serial vs parallel", i)
+		}
+	}
+	if serialRs[2].Adapt != nil {
+		t.Error("semispace run grew an advisor snapshot")
+	}
+	if serialRs[0].Adapt == nil || serialRs[1].Adapt == nil {
+		t.Error("generational runs missing advisor snapshots")
+	}
+}
+
+// TestAdaptTraceRoundTrip: an adaptive traced run's JSONL — including the
+// new adapt decision records and the adapt meter column — survives a
+// write→read→write round trip byte-identically.
+func TestAdaptTraceRoundTrip(t *testing.T) {
+	cfg := psAdaptCfg()
+	cfg.Trace = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := r.Trace.Data(cfg.Label())
+	if len(data.Adapt) == 0 {
+		t.Fatal("adaptive traced run emitted no adapt records")
+	}
+	var a bytes.Buffer
+	if err := trace.NewFile(data).WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	f, err := trace.ReadJSONL(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := f.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("adaptive trace JSONL round trip not byte-identical")
+	}
+}
+
+// TestAdaptSanitized: the heap-integrity sanitizer must accept
+// advisor-pretenured objects (its pretenure pass checks every pretenured-
+// region object against the reported policy, which for adaptive runs is
+// the accumulated advisor policy), and sanitizing must not perturb the
+// measurements.
+func TestAdaptSanitized(t *testing.T) {
+	plain, err := Run(psAdaptCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := psAdaptCfg()
+	cfg.Sanitize = true
+	sane, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Check != sane.Check || plain.Times != sane.Times {
+		t.Error("sanitizer perturbed the adaptive run")
+	}
+}
+
+// TestAdaptSemispaceRejected: the advisor needs a tenured generation.
+func TestAdaptSemispaceRejected(t *testing.T) {
+	_, err := Run(RunConfig{Workload: "Life", Scale: tiny, Kind: KindSemispace, K: 4, Adapt: true})
+	if err == nil {
+		t.Fatal("semispace adaptive run accepted")
+	}
+}

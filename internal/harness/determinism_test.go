@@ -19,6 +19,7 @@ func detConfigs() []RunConfig {
 		{Workload: "Nqueen", Scale: tiny, Kind: KindGenMarkersPretenure, K: 2},
 		{Workload: "Nqueen", Scale: tiny, Kind: KindSemispace, K: 4},
 		{Workload: "Color", Scale: tiny, Kind: KindGenMarkers, K: 4},
+		{Workload: "PhaseShift", Scale: tiny, Kind: KindGenerational, K: 2, Adapt: true},
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tilgc/internal/adapt"
 	"tilgc/internal/core"
 	"tilgc/internal/costmodel"
 	"tilgc/internal/mem"
@@ -116,11 +117,34 @@ type RunConfig struct {
 	// RunResult.Trace. Tracing charges nothing to the meter, so a traced
 	// run measures exactly the same simulated times as an untraced one.
 	Trace bool
+	// Adapt attaches the online pretenuring advisor (internal/adapt, §9)
+	// to a generational run: per-site survival statistics accumulate
+	// on-line and sites are promoted to (and demoted from) pretenured
+	// allocation mid-run. Unlike tracing, the advisor charges its probe,
+	// sample, and decision work to the meter's Adapt component. Requires a
+	// generational kind; combining Adapt with KindSemispace is an error.
+	Adapt bool
+	// AdaptNoDemote disables the advisor's mistrain demotion (ablation:
+	// the phase-shift experiment runs with and without it).
+	AdaptNoDemote bool
+	// AdaptWarm, when non-nil, seeds the advisor from a prior run's stored
+	// profile before the first allocation (§9 warm start).
+	AdaptWarm *adapt.RunProfile
+	// TrainScale, when nonzero, derives the offline pretenuring policy
+	// from a calibration at this scale instead of Scale — modelling the
+	// paper's train-on-one-input, measure-on-another methodology. It only
+	// affects kinds that consult the offline policy; the memory budget
+	// still calibrates at Scale.
+	TrainScale workload.Scale
 }
 
 // Label names the run for trace output and progress lines.
 func (c RunConfig) Label() string {
-	s := fmt.Sprintf("%s/%s", c.Workload, c.Kind)
+	kind := c.Kind.String()
+	if c.Adapt {
+		kind += "+adapt"
+	}
+	s := fmt.Sprintf("%s/%s", c.Workload, kind)
 	if c.K > 0 {
 		s += fmt.Sprintf(" k=%g", c.K)
 	}
@@ -138,6 +162,12 @@ type RunResult struct {
 	Profiler *prof.Profiler  // non-nil when Config.Profile
 	Trace    *trace.Recorder // non-nil when Config.Trace; sealed by Finish
 	Policy   *core.PretenurePolicy
+	// Adapt is the advisor's frozen end-of-run state (non-nil when
+	// Config.Adapt): decisions in emission order and per-site statistics.
+	Adapt *adapt.Snapshot
+	// AdaptProfile is the advisor's state packaged for the cross-run
+	// profile store (non-nil when Config.Adapt).
+	AdaptProfile *adapt.RunProfile
 }
 
 // Total returns total pseudo-seconds.
@@ -284,6 +314,17 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The offline policy normally comes from the same calibration as the
+	// budget; TrainScale splits them so experiments can train the policy
+	// on a different input than they measure (§6's methodology, and the
+	// handicap the online advisor is compared against).
+	polCal := cal
+	if cfg.TrainScale != (workload.Scale{}) {
+		polCal, err = Calibrate(cfg.Workload, cfg.TrainScale, cfg.PretenureCutoff)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	// The paper's budget: k · Min, Min = 2 · max live.
 	budget := uint64(1) << 24 // unconstrained default
@@ -300,10 +341,12 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	stack := rt.NewStack(table, meter)
 	var profiler *prof.Profiler
 	var profHook core.Profiler
-	if cfg.Profile || cfg.Trace {
+	if cfg.Profile || cfg.Trace || cfg.Adapt {
 		// Traced runs borrow the profiler's shadow tables for per-site
 		// death accounting; the profiler charges nothing to the meter, so
 		// attaching it does not perturb the simulated measurements.
+		// Adaptive runs need it too: its lifetime event stream is the
+		// advisor's stat feed.
 		profiler = prof.New(w.Sites())
 		profHook = profiler
 	}
@@ -315,6 +358,22 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		profiler.SetDeathSink(func(site obj.SiteID, bytes uint64) {
 			rec.DeadSite(site, bytes/mem.WordSize)
 		})
+	}
+	var engine *adapt.Engine
+	if cfg.Adapt {
+		if cfg.Kind == KindSemispace {
+			return nil, fmt.Errorf("harness: %s: the adaptive advisor requires a generational collector", cfg.Label())
+		}
+		cutoff := cfg.PretenureCutoff
+		if cutoff == 0 {
+			cutoff = DefaultPretenureCutoff
+		}
+		engine = adapt.New(meter, rec, adapt.Params{
+			PromotePPM:      uint64(cutoff * 10_000), // old% cutoff → ppm
+			DisableDemotion: cfg.AdaptNoDemote,
+		})
+		profiler.SetObserver(engine)
+		engine.WarmStart(cfg.AdaptWarm)
 	}
 
 	var col core.Collector
@@ -337,26 +396,29 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			// so object lifetimes are sampled frequently.
 			gcfg.NurseryWords = 4 * 1024
 		}
+		if engine != nil {
+			gcfg.Advisor = engine
+		}
 		switch cfg.Kind {
 		case KindGenerational:
 		case KindGenMarkers:
 			gcfg.MarkerN = markerN
 		case KindGenMarkersPretenure:
 			gcfg.MarkerN = markerN
-			gcfg.Pretenure = cal.policy
+			gcfg.Pretenure = polCal.policy
 		case KindGenMarkersPretenureElide:
 			gcfg.MarkerN = markerN
-			gcfg.Pretenure = cal.policy
+			gcfg.Pretenure = polCal.policy
 			gcfg.ScanElision = true
 		case KindGenCards:
 			gcfg.UseCardTable = true
 		case KindGenPretenure:
-			gcfg.Pretenure = cal.policy
+			gcfg.Pretenure = polCal.policy
 		case KindGenAging:
 			gcfg.AgingMinors = 3
 		case KindGenAgingPretenure:
 			gcfg.AgingMinors = 3
-			gcfg.Pretenure = cal.policy
+			gcfg.Pretenure = polCal.policy
 		default:
 			return nil, fmt.Errorf("harness: unknown collector kind %v", cfg.Kind)
 		}
@@ -373,6 +435,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if profiler != nil {
 		profiler.Finalize()
 	}
+	var adaptSnap *adapt.Snapshot
+	var adaptProfile *adapt.RunProfile
+	if engine != nil {
+		// Seal after Finalize so the profiler's end-of-run deaths fold
+		// into the stored survival state without triggering decisions.
+		engine.Seal()
+		adaptSnap = engine.Snapshot()
+		adaptProfile = engine.StoreProfile(cfg.Label(), cfg.Workload, w.Sites())
+	}
 	if rec != nil {
 		rec.Finish()
 		if err := rec.VerifyReconciled(); err != nil {
@@ -381,18 +452,20 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 	resultProf := profiler
 	if !cfg.Profile {
-		resultProf = nil // trace-only runs keep the profiler internal
+		resultProf = nil // trace-only and adapt-only runs keep the profiler internal
 	}
 	return &RunResult{
-		Config:   cfg,
-		Check:    res.Check,
-		Times:    meter.Snapshot(),
-		Stats:    *col.Stats(),
-		Updates:  updates(),
-		MaxDepth: stack.MaxDepth(),
-		Profiler: resultProf,
-		Trace:    rec,
-		Policy:   cal.policy,
+		Config:       cfg,
+		Check:        res.Check,
+		Times:        meter.Snapshot(),
+		Stats:        *col.Stats(),
+		Updates:      updates(),
+		MaxDepth:     stack.MaxDepth(),
+		Profiler:     resultProf,
+		Trace:        rec,
+		Policy:       polCal.policy,
+		Adapt:        adaptSnap,
+		AdaptProfile: adaptProfile,
 	}, nil
 }
 

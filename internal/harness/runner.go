@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tilgc/internal/adapt"
 	"tilgc/internal/costmodel"
 	"tilgc/internal/trace"
 )
@@ -67,6 +68,21 @@ type Options struct {
 	// this is how callers like gcbench capture traces of a whole sweep;
 	// batches arrive in the order the experiment issues them.
 	TraceSink func([]*trace.RunData)
+	// Adapt attaches the online pretenuring advisor to every generational
+	// run in the batch (see RunConfig.Adapt). Semispace runs are left
+	// unchanged: the advisor has no tenured generation to steer there.
+	Adapt bool
+	// AdaptWarm, when non-nil, warm-starts each adaptive run from the
+	// store's most recent profile for its workload (no-op for workloads
+	// the store has never seen).
+	AdaptWarm *adapt.Store
+	// AdaptSink, when non-nil, implies Adapt and receives each batch's
+	// storable advisor profiles after the batch assembles — in input
+	// order, whatever the parallelism, with failed and non-adaptive runs
+	// skipped. Like TraceSink, this is how sweep callers (gcbench
+	// -adapt-store) persist a whole sweep's advisor state byte-identically
+	// at any parallelism.
+	AdaptSink func([]*adapt.RunProfile)
 }
 
 // workers resolves the pool size for a batch of n runs.
@@ -124,6 +140,12 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 				if opts.Trace || opts.TraceSink != nil {
 					cfg.Trace = true
 				}
+				if (opts.Adapt || opts.AdaptSink != nil) && cfg.Kind != KindSemispace {
+					cfg.Adapt = true
+				}
+				if cfg.Adapt && cfg.AdaptWarm == nil {
+					cfg.AdaptWarm = opts.AdaptWarm.Find(cfg.Workload)
+				}
 				r, err := Run(cfg)
 				results[i], errs[i] = r, err
 				done := Event{Kind: EventRunFinished, Index: i, Total: len(cfgs), Config: cfgs[i], Err: err}
@@ -147,6 +169,15 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 			}
 		}
 		opts.TraceSink(batch)
+	}
+	if opts.AdaptSink != nil {
+		batch := make([]*adapt.RunProfile, 0, len(results))
+		for _, r := range results {
+			if r != nil && r.AdaptProfile != nil {
+				batch = append(batch, r.AdaptProfile)
+			}
+		}
+		opts.AdaptSink(batch)
 	}
 
 	for _, err := range errs {

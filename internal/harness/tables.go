@@ -387,6 +387,106 @@ func MarkerSweep(w io.Writer, scale workload.Scale, names []string, ns []int, op
 	return nil
 }
 
+// AdaptTargets pairs the long-lived benchmarks the adaptive experiment
+// measures with the memory multiple each is measured at. Simple runs
+// unconstrained (k = 0): under a tight budget its pretenured bumps force
+// extra majors and pretenuring is a net loss, which is exactly the regime
+// the §9 demotion ablation covers separately.
+var AdaptTargets = []struct {
+	Name string
+	K    float64
+}{
+	{"Simple", 0},
+	{"Nqueen", 4},
+}
+
+// ExperimentAdapt renders the §9 adaptive-pretenuring evaluation: copied
+// bytes under no pretenuring, offline profile-driven pretenuring (trained
+// at half scale, the paper's train-on-one-input methodology), an oracle
+// offline policy (train == measure), and the online advisor starting cold
+// and warm — then the PhaseShift mistrain ablation with and without
+// demotion.
+func ExperimentAdapt(w io.Writer, scale workload.Scale, opts Options) error {
+	// Offline training input: the same workload at half the repetitions.
+	train := scale.Canon()
+	train.Repeat /= 2
+
+	// Batch 1: everything except the warm-started runs, which need the
+	// cold runs' stored profiles first.
+	const perTarget = 4 // none, offline, oracle, adapt-cold
+	var cfgs []RunConfig
+	for _, tgt := range AdaptTargets {
+		cfgs = append(cfgs,
+			RunConfig{Workload: tgt.Name, Scale: scale, Kind: KindGenerational, K: tgt.K},
+			RunConfig{Workload: tgt.Name, Scale: scale, Kind: KindGenPretenure, K: tgt.K, TrainScale: train},
+			RunConfig{Workload: tgt.Name, Scale: scale, Kind: KindGenPretenure, K: tgt.K},
+			RunConfig{Workload: tgt.Name, Scale: scale, Kind: KindGenerational, K: tgt.K, Adapt: true})
+	}
+	psBase := len(cfgs)
+	cfgs = append(cfgs,
+		RunConfig{Workload: "PhaseShift", Scale: scale, Kind: KindGenerational, K: 1.5},
+		RunConfig{Workload: "PhaseShift", Scale: scale, Kind: KindGenerational, K: 1.5, Adapt: true},
+		RunConfig{Workload: "PhaseShift", Scale: scale, Kind: KindGenerational, K: 1.5, Adapt: true, AdaptNoDemote: true})
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
+
+	// Batch 2: re-run the adaptive configuration seeded with the profile
+	// the cold run just stored.
+	var warmCfgs []RunConfig
+	for i, tgt := range AdaptTargets {
+		warmCfgs = append(warmCfgs, RunConfig{
+			Workload: tgt.Name, Scale: scale, Kind: KindGenerational, K: tgt.K,
+			Adapt: true, AdaptWarm: rs[i*perTarget+3].AdaptProfile,
+		})
+	}
+	warm, err := RunAll(warmCfgs, opts)
+	if err != nil {
+		return err
+	}
+
+	header(w, "Extension (§9): online adaptive pretenuring")
+	fmt.Fprintln(w, "Copied bytes; recovery% = share of the oracle's copy-cost reduction the advisor achieves")
+	fmt.Fprintf(w, "%-13s | %12s %12s %12s | %12s %12s | %6s %6s\n",
+		"Program", "none", "offline", "oracle", "adapt-cold", "adapt-warm", "cold%", "warm%")
+	for i, tgt := range AdaptTargets {
+		none := rs[i*perTarget].Stats.BytesCopied
+		off := rs[i*perTarget+1].Stats.BytesCopied
+		oracle := rs[i*perTarget+2].Stats.BytesCopied
+		cold := rs[i*perTarget+3].Stats.BytesCopied
+		warmed := warm[i].Stats.BytesCopied
+		recovered := func(copied uint64) float64 {
+			saved := float64(none) - float64(oracle)
+			if saved <= 0 {
+				return 0
+			}
+			return 100 * (float64(none) - float64(copied)) / saved
+		}
+		fmt.Fprintf(w, "%-13s | %12d %12d %12d | %12d %12d | %5.1f%% %5.1f%%\n",
+			tgt.Name, none, off, oracle, cold, warmed, recovered(cold), recovered(warmed))
+	}
+
+	fmt.Fprintln(w, "\nPhaseShift mistrain ablation (k=1.5): the node site earns promotion in")
+	fmt.Fprintln(w, "phase 1 and turns to garbage in phase 2; demotion must reclaim the mistake.")
+	fmt.Fprintf(w, "%-30s | %8s %8s | %10s %7s %9s\n",
+		"Config", "promote", "demote", "pretenured", "majors", "GC(s)")
+	for _, r := range rs[psBase:] {
+		label := r.Config.Kind.String()
+		var proms, demos uint64
+		if r.Config.Adapt {
+			label += "+adapt"
+			proms, demos = r.Adapt.Promotions, r.Adapt.Demotions
+		}
+		if r.Config.AdaptNoDemote {
+			label += " (no demote)"
+		}
+		fmt.Fprintf(w, "%-30s | %8d %8d | %10d %7d %9.3f\n",
+			label, proms, demos, r.Stats.Pretenured, r.Stats.NumMajor, r.GC())
+	}
+	return nil
+}
+
 func maxf(a, b float64) float64 {
 	if a > b {
 		return a

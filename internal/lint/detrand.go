@@ -21,6 +21,10 @@ var detPackages = []string{
 	// timestamp is a costmodel cycle count, so a wall-clock or scheduler
 	// read here would corrupt trace determinism silently.
 	"internal/trace",
+	// The adaptive advisor's promotion/demotion decisions feed back into
+	// allocation placement, so any nondeterminism here changes heap layout,
+	// GC counts, and the cross-run profile store.
+	"internal/adapt",
 }
 
 // detrandBanned maps package path -> banned member names. An empty set

@@ -17,6 +17,7 @@ var fixturePatterns = []string{
 	"./testdata/src/maporder",
 	"./testdata/src/internal/core",
 	"./testdata/src/internal/trace",
+	"./testdata/src/internal/adapt",
 	"./testdata/src/cfg",
 }
 

@@ -1,0 +1,38 @@
+// Package adapt is a gclint test fixture whose import path ends in
+// internal/adapt, placing it inside the detrand determinism fence: the
+// advisor's promotion and demotion decisions steer allocation placement,
+// so host randomness or wall-clock reads here would silently change heap
+// layout, GC counts, and the cross-run profile store.
+package adapt
+
+import (
+	"math/rand" // want: import of math/rand
+	"time"
+)
+
+// Site is a stand-in advisor site record.
+type Site struct {
+	SurvWords uint64
+	DeadWords uint64
+	DecidedAt uint64
+}
+
+// Jitter perturbs the promotion threshold with host randomness.
+func Jitter(cutoffPPM uint64) uint64 {
+	return cutoffPPM + uint64(rand.Intn(1000))
+}
+
+// StampDecision timestamps a decision from the wall clock instead of the
+// cost meter's cycle count.
+func StampDecision(s *Site) {
+	s.DecidedAt = uint64(time.Now().UnixNano()) // want: time.Now
+}
+
+// SurvivalPPM is clean: pure integer arithmetic on observed words.
+func SurvivalPPM(s Site) uint64 {
+	total := s.SurvWords + s.DeadWords
+	if total == 0 {
+		return 0
+	}
+	return s.SurvWords * 1_000_000 / total
+}

@@ -23,10 +23,41 @@ import (
 
 // objRec tracks one live object.
 type objRec struct {
-	site      obj.SiteID
-	sizeBytes uint64
-	birth     uint64 // allocation clock (total bytes allocated) at birth
-	survived  bool   // has survived at least one collection
+	site       obj.SiteID
+	sizeBytes  uint64
+	birth      uint64 // allocation clock (total bytes allocated) at birth
+	survived   bool   // has survived at least one collection
+	pretenured bool   // was allocated directly into the tenured generation
+}
+
+// DeathClass tells an Observer where an object was in its generational
+// life when it died.
+type DeathClass uint8
+
+const (
+	// DeathYoung: died without ever being copied or pretenured — nursery
+	// garbage, the cheap case generational collection is built around.
+	DeathYoung DeathClass = iota
+	// DeathOld: survived at least one collection (was copied) and died in
+	// the old generation.
+	DeathOld
+	// DeathPretenured: was allocated directly into the tenured generation
+	// and died there — the tenured garbage a mistrained pretenuring
+	// decision produces.
+	DeathPretenured
+)
+
+// Observer receives the online per-site lifetime event stream the adaptive
+// pretenuring engine (internal/adapt) consumes: allocations (with the
+// pretenured bit), first-collection survivals (with age at survival, in
+// bytes of allocation), classified deaths, and collection boundaries.
+// Events fire in the profiler's deterministic order (deaths in sorted
+// address order). A nil observer costs one branch per event.
+type Observer interface {
+	ObserveAlloc(site obj.SiteID, words uint64, pretenured bool)
+	ObserveSurvive(site obj.SiteID, words uint64, ageBytes uint64)
+	ObserveDeath(site obj.SiteID, words uint64, class DeathClass)
+	ObserveGCEnd()
 }
 
 // SiteStats aggregates one allocation site.
@@ -81,6 +112,9 @@ type Profiler struct {
 	// sorted address order (see OnSpaceCondemned), so the callback
 	// sequence is deterministic.
 	deathSink func(site obj.SiteID, bytes uint64)
+
+	// observer, when set, receives the online lifetime event stream (§9).
+	observer Observer
 }
 
 type movedRec struct {
@@ -117,14 +151,17 @@ func (p *Profiler) spaceTable(id mem.SpaceID) map[uint64]*objRec {
 }
 
 // OnAlloc implements core.Profiler.
-func (p *Profiler) OnAlloc(addr mem.Addr, site obj.SiteID, k obj.Kind, words uint64) {
+func (p *Profiler) OnAlloc(addr mem.Addr, site obj.SiteID, k obj.Kind, words uint64, pretenured bool) {
 	bytes := words * mem.WordSize
 	s := p.site(site)
 	s.AllocBytes += bytes
 	s.AllocCount++
 	p.clock += bytes
 	p.spaceTable(addr.Space())[addr.Offset()] = &objRec{
-		site: site, sizeBytes: bytes, birth: p.clock,
+		site: site, sizeBytes: bytes, birth: p.clock, pretenured: pretenured,
+	}
+	if p.observer != nil {
+		p.observer.ObserveAlloc(site, words, pretenured)
 	}
 }
 
@@ -142,6 +179,9 @@ func (p *Profiler) OnMove(from, to mem.Addr) {
 	if !rec.survived {
 		rec.survived = true
 		s.SurvivedFirst++
+		if p.observer != nil && !rec.pretenured {
+			p.observer.ObserveSurvive(rec.site, rec.sizeBytes/mem.WordSize, p.clock-rec.birth)
+		}
 	}
 	p.moved = append(p.moved, movedRec{to: to, rec: rec})
 }
@@ -191,6 +231,9 @@ func (p *Profiler) OnGCEnd() {
 		p.spaceTable(m.to.Space())[m.to.Offset()] = m.rec
 	}
 	p.moved = p.moved[:0]
+	if p.observer != nil {
+		p.observer.ObserveGCEnd()
+	}
 }
 
 func (p *Profiler) recordDeath(rec *objRec) {
@@ -200,6 +243,16 @@ func (p *Profiler) recordDeath(rec *objRec) {
 	if p.deathSink != nil {
 		p.deathSink(rec.site, rec.sizeBytes)
 	}
+	if p.observer != nil {
+		class := DeathYoung
+		switch {
+		case rec.pretenured:
+			class = DeathPretenured
+		case rec.survived:
+			class = DeathOld
+		}
+		p.observer.ObserveDeath(rec.site, rec.sizeBytes/mem.WordSize, class)
+	}
 }
 
 // SetDeathSink registers a callback invoked on every object death with the
@@ -207,6 +260,13 @@ func (p *Profiler) recordDeath(rec *objRec) {
 // per-site died-words counters without coupling this package to it.
 func (p *Profiler) SetDeathSink(fn func(site obj.SiteID, bytes uint64)) {
 	p.deathSink = fn
+}
+
+// SetObserver registers the online lifetime-event observer (the adaptive
+// pretenuring engine). Call before the run starts; events already emitted
+// are not replayed.
+func (p *Profiler) SetObserver(o Observer) {
+	p.observer = o
 }
 
 // Finalize treats every object still live as dying at the end of the run,

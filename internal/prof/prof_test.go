@@ -33,8 +33,8 @@ func TestProfilerAllocMoveDeath(t *testing.T) {
 	p := New(nil)
 	a := mem.MakeAddr(1, 10)
 	b := mem.MakeAddr(1, 20)
-	p.OnAlloc(a, 5, obj.Record, 4)  // 32 bytes
-	p.OnAlloc(b, 5, obj.Record, 2)  // 16 bytes
+	p.OnAlloc(a, 5, obj.Record, 4, false)  // 32 bytes
+	p.OnAlloc(b, 5, obj.Record, 2, false)  // 16 bytes
 	p.OnMove(a, mem.MakeAddr(2, 1)) // a survives, copied
 	p.OnSpaceCondemned(1)           // b dies
 	p.OnGCEnd()
@@ -65,9 +65,9 @@ func TestProfilerAllocMoveDeath(t *testing.T) {
 func TestProfilerAgeAccounting(t *testing.T) {
 	p := New(nil)
 	a := mem.MakeAddr(1, 1)
-	p.OnAlloc(a, 1, obj.Record, 128) // 1KB; clock now 1KB
+	p.OnAlloc(a, 1, obj.Record, 128, false) // 1KB; clock now 1KB
 	// 9KB more allocation from another site.
-	p.OnAlloc(mem.MakeAddr(1, 200), 2, obj.RawArray, 128*9)
+	p.OnAlloc(mem.MakeAddr(1, 200), 2, obj.RawArray, 128*9, false)
 	p.OnSpaceCondemned(1) // both die; a's age = 9KB, other's age = 0
 	s := p.sites[1]
 	if s.Deaths != 1 || s.AvgAgeKB() != 9 {
@@ -80,7 +80,7 @@ func TestProfilerAgeAccounting(t *testing.T) {
 
 func TestProfilerFinalize(t *testing.T) {
 	p := New(nil)
-	p.OnAlloc(mem.MakeAddr(1, 1), 1, obj.Record, 10)
+	p.OnAlloc(mem.MakeAddr(1, 1), 1, obj.Record, 10, false)
 	p.Finalize()
 	if p.sites[1].Deaths != 1 {
 		t.Fatal("finalize did not record survivor death")
@@ -98,17 +98,17 @@ func TestPolicyCutoff(t *testing.T) {
 	// Site 3: only 2 objects (below min), all survive.
 	for i := 0; i < 10; i++ {
 		a := mem.MakeAddr(1, uint64(1+i*10))
-		p.OnAlloc(a, 1, obj.Record, 2)
+		p.OnAlloc(a, 1, obj.Record, 2, false)
 		p.OnMove(a, mem.MakeAddr(2, uint64(1+i*10)))
 		p.OnGCEnd()
 	}
 	for i := 0; i < 10; i++ {
-		p.OnAlloc(mem.MakeAddr(3, uint64(1+i*10)), 2, obj.Record, 2)
+		p.OnAlloc(mem.MakeAddr(3, uint64(1+i*10)), 2, obj.Record, 2, false)
 	}
 	p.OnSpaceCondemned(3)
 	for i := 0; i < 2; i++ {
 		a := mem.MakeAddr(4, uint64(1+i*10))
-		p.OnAlloc(a, 3, obj.Record, 2)
+		p.OnAlloc(a, 3, obj.Record, 2, false)
 		p.OnMove(a, mem.MakeAddr(5, uint64(1+i*10)))
 		p.OnGCEnd()
 	}
@@ -143,7 +143,7 @@ func TestWriteReportFormat(t *testing.T) {
 	p := New(map[obj.SiteID]string{7: "cons"})
 	for i := 0; i < 100; i++ {
 		a := mem.MakeAddr(1, uint64(1+i*4))
-		p.OnAlloc(a, 7, obj.Record, 4)
+		p.OnAlloc(a, 7, obj.Record, 4, false)
 		p.OnMove(a, mem.MakeAddr(2, uint64(1+i*4)))
 		p.OnGCEnd()
 	}
@@ -214,7 +214,7 @@ func TestProfilerDrivesPretenuringEndToEnd(t *testing.T) {
 func TestOnLOSDeadAndClock(t *testing.T) {
 	p := New(nil)
 	a := mem.MakeAddr(9, 1)
-	p.OnAlloc(a, 4, obj.RawArray, 100)
+	p.OnAlloc(a, 4, obj.RawArray, 100, false)
 	if p.Clock() != 800 {
 		t.Fatalf("Clock = %d", p.Clock())
 	}
@@ -233,9 +233,9 @@ func TestOnLOSDeadAndClock(t *testing.T) {
 
 func TestSitesSortedByAllocation(t *testing.T) {
 	p := New(nil)
-	p.OnAlloc(mem.MakeAddr(1, 1), 5, obj.Record, 10)
-	p.OnAlloc(mem.MakeAddr(1, 50), 6, obj.Record, 100)
-	p.OnAlloc(mem.MakeAddr(1, 200), 7, obj.Record, 100)
+	p.OnAlloc(mem.MakeAddr(1, 1), 5, obj.Record, 10, false)
+	p.OnAlloc(mem.MakeAddr(1, 50), 6, obj.Record, 100, false)
+	p.OnAlloc(mem.MakeAddr(1, 200), 7, obj.Record, 100, false)
 	sites := p.Sites()
 	if len(sites) != 3 {
 		t.Fatalf("Sites len = %d", len(sites))
@@ -256,5 +256,44 @@ func TestMoveOfUntrackedObject(t *testing.T) {
 	p.OnGCEnd()
 	if len(p.sites) != 0 {
 		t.Fatal("phantom site created")
+	}
+}
+
+// TestDeathOnlySiteInReport: a site with deaths but zero recorded
+// allocations (its stats were seeded from another run, or its objects
+// predate profiling) contributes 0% to the allocation and copy shares, so
+// the report's percentage filter would silently drop it — yet its garbage
+// is exactly what a mistrain report needs to surface. It must render,
+// without dividing by zero.
+func TestDeathOnlySiteInReport(t *testing.T) {
+	p := New(map[obj.SiteID]string{42: "seeded sink"})
+	// A normal site so the report has nonzero totals.
+	for i := 0; i < 100; i++ {
+		p.OnAlloc(mem.MakeAddr(1, uint64(1+i*4)), 7, obj.Record, 4, false)
+	}
+	// The death-only site, seeded directly as a warm-started run would.
+	p.sites[42] = &SiteStats{Site: 42, Name: "seeded sink", Deaths: 3, SumDeathAgeKB: 1.5}
+
+	s := p.sites[42]
+	if got := s.OldPct(); got != 0 {
+		t.Errorf("OldPct = %g, want 0", got)
+	}
+	if got := s.CopyRatio(); got != 0 {
+		t.Errorf("CopyRatio = %g, want 0", got)
+	}
+	if got := s.AvgAgeKB(); got != 0.5 {
+		t.Errorf("AvgAgeKB = %g, want 0.5", got)
+	}
+
+	var sb strings.Builder
+	p.WriteReport(&sb, DefaultReportOptions("DeathOnly"))
+	out := sb.String()
+	if !strings.Contains(out, "42") {
+		t.Fatalf("death-only site vanished from the report:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf", "nan", "inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("report contains %s:\n%s", bad, out)
+		}
 	}
 }

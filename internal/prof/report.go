@@ -50,7 +50,13 @@ func (p *Profiler) WriteReport(w io.Writer, opts ReportOptions) {
 	for _, s := range sites {
 		allocPct := pct(s.AllocBytes, totalAlloc)
 		copyPct := pct(s.CopiedBytes, totalCopied)
-		if allocPct <= opts.MinAllocPct && copyPct <= opts.MinCopyPct {
+		// A site with deaths but no recorded allocations (its objects
+		// predate profiling, or its stats were seeded from another run)
+		// contributes 0% to both shares and would silently vanish under
+		// the percentage filter; its garbage is exactly what the report
+		// exists to surface, so it is always shown.
+		deathOnly := s.AllocCount == 0 && s.Deaths > 0
+		if !deathOnly && allocPct <= opts.MinAllocPct && copyPct <= opts.MinCopyPct {
 			continue
 		}
 		shown++

@@ -21,13 +21,16 @@ import (
 //	{"t":"phase_end",...}
 //	{"t":"gc_end","run":i,"seq":s,...,"counters":{...}}
 //	{"t":"run_end","run":i,"client":..,"stack":..,"copy":..}
+//	{"t":"adapt","run":i,"seq":s,"site":..,"verb":"promote",...}  adaptive runs only
 //	{"t":"site","run":i,"site":..,"name":..,...}             sorted by site id
 //	{"t":"metric","run":i,"name":..,"kind":..,...}           sorted by name
 //
 // All cycle quantities are integers of simulated cycles; "at" is always
-// client+stack+copy at the event. The stream contains no floats, no
-// wall-clock quantities, and no map-ordered output, so it is byte-identical
-// across runs and harness parallelism levels.
+// client+stack+copy+adapt at the event ("adapt" is omitted when zero, i.e.
+// on every non-adaptive run — those streams are byte-identical to pre-§9
+// builds). The stream contains no floats, no wall-clock quantities, and no
+// map-ordered output, so it is byte-identical across runs and harness
+// parallelism levels.
 
 type recHeader struct {
 	T       string `json:"t"`
@@ -52,6 +55,7 @@ type recEvent struct {
 	Client   uint64      `json:"client"`
 	Stack    uint64      `json:"stack"`
 	Copy     uint64      `json:"copy"`
+	Adapt    uint64      `json:"adapt,omitempty"`
 	Counters *GCCounters `json:"counters,omitempty"`
 }
 
@@ -61,6 +65,28 @@ type recRunEnd struct {
 	Client uint64 `json:"client"`
 	Stack  uint64 `json:"stack"`
 	Copy   uint64 `json:"copy"`
+	Adapt  uint64 `json:"adapt,omitempty"`
+}
+
+// recAdapt is one advisor decision. It appears only in adaptive runs'
+// streams (after run_end, before site records), so non-adaptive traces —
+// including the golden fixture — are byte-identical to pre-§9 builds
+// without a schema bump; readers reject it only via the unknown-record
+// check, which schema 1 readers predating §9 would do by design.
+type recAdapt struct {
+	T           string `json:"t"`
+	Run         int    `json:"run"`
+	Seq         uint64 `json:"seq"`
+	Site        uint16 `json:"site"`
+	Verb        string `json:"verb"`
+	SurvivalPPM uint64 `json:"survival_ppm"`
+	GarbagePPM  uint64 `json:"garbage_ppm"`
+	SampleWords uint64 `json:"sample_words"`
+	At          uint64 `json:"at"`
+	Client      uint64 `json:"client"`
+	Stack       uint64 `json:"stack"`
+	Copy        uint64 `json:"copy"`
+	Adapt       uint64 `json:"adapt,omitempty"`
 }
 
 type recSite struct {
@@ -137,6 +163,7 @@ func (f *File) WriteJSONL(w io.Writer) error {
 				Client: uint64(e.Break.Client),
 				Stack:  uint64(e.Break.GCStack),
 				Copy:   uint64(e.Break.GCCopy),
+				Adapt:  uint64(e.Break.Adapt),
 			}
 			switch e.Kind {
 			case EvGCBegin:
@@ -152,9 +179,20 @@ func (f *File) WriteJSONL(w io.Writer) error {
 			}
 		}
 		end := recRunEnd{T: "run_end", Run: i,
-			Client: uint64(d.Final.Client), Stack: uint64(d.Final.GCStack), Copy: uint64(d.Final.GCCopy)}
+			Client: uint64(d.Final.Client), Stack: uint64(d.Final.GCStack),
+			Copy: uint64(d.Final.GCCopy), Adapt: uint64(d.Final.Adapt)}
 		if err := enc.Encode(end); err != nil {
 			return err
+		}
+		for _, a := range d.Adapt {
+			if err := enc.Encode(recAdapt{T: "adapt", Run: i, Seq: a.Seq,
+				Site: uint16(a.Site), Verb: a.Verb,
+				SurvivalPPM: a.SurvivalPPM, GarbagePPM: a.GarbagePPM, SampleWords: a.SampleWords,
+				At:     uint64(a.Break.Total()),
+				Client: uint64(a.Break.Client), Stack: uint64(a.Break.GCStack),
+				Copy:   uint64(a.Break.GCCopy), Adapt: uint64(a.Break.Adapt)}); err != nil {
+				return err
+			}
 		}
 		for _, s := range d.Sites {
 			if err := enc.Encode(recSite{T: "site", Run: i, Site: uint16(s.Site), Name: s.Name,
@@ -262,7 +300,32 @@ func ReadJSONL(r io.Reader) (*File, error) {
 				Client:  costmodel.Cycles(re.Client),
 				GCStack: costmodel.Cycles(re.Stack),
 				GCCopy:  costmodel.Cycles(re.Copy),
+				Adapt:   costmodel.Cycles(re.Adapt),
 			}
+		case "adapt":
+			var ra recAdapt
+			if err := strict(line, &ra); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			b := costmodel.Breakdown{
+				Client:  costmodel.Cycles(ra.Client),
+				GCStack: costmodel.Cycles(ra.Stack),
+				GCCopy:  costmodel.Cycles(ra.Copy),
+				Adapt:   costmodel.Cycles(ra.Adapt),
+			}
+			if costmodel.Cycles(ra.At) != b.Total() {
+				return nil, fmt.Errorf("trace: line %d: at %d != breakdown total %d", lineNo, ra.At, b.Total())
+			}
+			switch ra.Verb {
+			case AdaptPromote, AdaptDemote, AdaptWarm:
+			default:
+				return nil, fmt.Errorf("trace: line %d: unknown adapt verb %q", lineNo, ra.Verb)
+			}
+			cur.Adapt = append(cur.Adapt, AdaptDecision{
+				Seq: ra.Seq, Site: obj.SiteID(ra.Site), Verb: ra.Verb,
+				SurvivalPPM: ra.SurvivalPPM, GarbagePPM: ra.GarbagePPM,
+				SampleWords: ra.SampleWords, Break: b,
+			})
 		case "site":
 			var rs recSite
 			if err := strict(line, &rs); err != nil {
@@ -311,9 +374,10 @@ func (re recEvent) event(t string) (Event, error) {
 		Client:  costmodel.Cycles(re.Client),
 		GCStack: costmodel.Cycles(re.Stack),
 		GCCopy:  costmodel.Cycles(re.Copy),
+		Adapt:   costmodel.Cycles(re.Adapt),
 	}
 	if costmodel.Cycles(re.At) != b.Total() {
-		return Event{}, fmt.Errorf("at %d != client+stack+copy %d", re.At, b.Total())
+		return Event{}, fmt.Errorf("at %d != client+stack+copy+adapt %d", re.At, b.Total())
 	}
 	ev := Event{Seq: re.Seq, Break: b}
 	switch t {
@@ -366,7 +430,8 @@ func (d *RunData) validate() error {
 	gcOpen, phaseOpen := false, false
 	var openPhase Phase
 	for i, e := range d.Events {
-		if e.Break.Client < prev.Client || e.Break.GCStack < prev.GCStack || e.Break.GCCopy < prev.GCCopy {
+		if e.Break.Client < prev.Client || e.Break.GCStack < prev.GCStack ||
+			e.Break.GCCopy < prev.GCCopy || e.Break.Adapt < prev.Adapt {
 			return fmt.Errorf("event %d: meter snapshot went backwards", i)
 		}
 		prev = e.Break

@@ -36,6 +36,14 @@ type Recorder struct {
 	gcMajors  *Metric
 	pauseHist *Metric
 	stubs     *Metric
+
+	// Adaptive-pretenuring telemetry (§9). The decision list and the
+	// adapt.* counters are created lazily on first use so non-adaptive
+	// runs' traces are byte-identical to pre-§9 builds.
+	adapt        []AdaptDecision
+	adaptProms   *Metric
+	adaptDemos   *Metric
+	adaptSamples *Metric
 }
 
 // SiteCounters aggregates one allocation site's telemetry: words allocated
@@ -193,6 +201,48 @@ func (r *Recorder) CountStubReturn() {
 	r.stubs.Add(1)
 }
 
+// ensureAdaptMetrics lazily materializes the adapt.* counters.
+func (r *Recorder) ensureAdaptMetrics() {
+	if r.adaptProms == nil {
+		r.adaptProms = r.reg.Counter(MetricAdaptPromotions)
+		r.adaptDemos = r.reg.Counter(MetricAdaptDemotions)
+		r.adaptSamples = r.reg.Counter(MetricAdaptSamples)
+	}
+}
+
+// AdaptDecision records one online pretenuring decision, stamping it with
+// the current collection number and meter snapshot.
+func (r *Recorder) AdaptDecision(site obj.SiteID, verb string, survivalPPM, garbagePPM, sampleWords uint64) {
+	if r == nil {
+		return
+	}
+	r.ensureAdaptMetrics()
+	switch verb {
+	case AdaptPromote, AdaptWarm:
+		r.adaptProms.Add(1)
+	case AdaptDemote:
+		r.adaptDemos.Add(1)
+	}
+	r.adapt = append(r.adapt, AdaptDecision{
+		Seq:         r.seq,
+		Site:        site,
+		Verb:        verb,
+		SurvivalPPM: survivalPPM,
+		GarbagePPM:  garbagePPM,
+		SampleWords: sampleWords,
+		Break:       r.meter.Snapshot(),
+	})
+}
+
+// CountAdaptSamples adds n to the advisor's sample counter.
+func (r *Recorder) CountAdaptSamples(n uint64) {
+	if r == nil {
+		return
+	}
+	r.ensureAdaptMetrics()
+	r.adaptSamples.Add(n)
+}
+
 // Finish seals the trace with the run's final meter totals. Call once,
 // after the workload completes; emitting after Finish panics.
 func (r *Recorder) Finish() {
@@ -248,6 +298,7 @@ func (r *Recorder) Data(label string) *RunData {
 		Final:   final,
 		Sites:   sites,
 		Metrics: r.reg.Snapshot(),
+		Adapt:   r.adapt,
 	}
 }
 
@@ -265,13 +316,15 @@ func (r *Recorder) VerifyReconciled() error {
 }
 
 // RunData is one run's frozen trace: events in emission order, the final
-// meter breakdown, sorted per-site counters, and sorted metric snapshots.
+// meter breakdown, sorted per-site counters, sorted metric snapshots, and
+// (adaptive runs only) the advisor's decisions in emission order.
 type RunData struct {
 	Label   string
 	Events  []Event
 	Final   costmodel.Breakdown
 	Sites   []SiteCounters
 	Metrics []Metric
+	Adapt   []AdaptDecision
 }
 
 // Reconcile verifies the phase/meter tiling invariant on frozen data (see

@@ -22,7 +22,10 @@
 // same simulated times and statistics as an untraced one.
 package trace
 
-import "tilgc/internal/costmodel"
+import (
+	"tilgc/internal/costmodel"
+	"tilgc/internal/obj"
+)
 
 // SchemaVersion is the JSONL trace-format version. Bump when record
 // shapes or event semantics change incompatibly.
@@ -144,9 +147,37 @@ type GCCounters struct {
 
 // Standard metric names the Recorder maintains. The pause histogram is
 // log2-bucketed: bucket i counts pauses p with 2^(i-1) <= p < 2^i.
+// The adapt.* counters are created lazily, on the first adaptive-advisor
+// event: non-adaptive runs never materialize them, keeping their metric
+// streams (and the golden traces) byte-identical to pre-§9 builds.
 const (
-	MetricGCCount     = "gc.count"
-	MetricGCMajors    = "gc.majors"
-	MetricPauseCycles = "gc.pause_cycles"
-	MetricStubReturns = "rt.stub_returns"
+	MetricGCCount         = "gc.count"
+	MetricGCMajors        = "gc.majors"
+	MetricPauseCycles     = "gc.pause_cycles"
+	MetricStubReturns     = "rt.stub_returns"
+	MetricAdaptPromotions = "adapt.promotions"
+	MetricAdaptDemotions  = "adapt.demotions"
+	MetricAdaptSamples    = "adapt.samples"
 )
+
+// Adapt-decision verbs (stable; part of the schema).
+const (
+	AdaptPromote = "promote" // site crossed the survival cutoff: pretenure it
+	AdaptDemote  = "demote"  // site's tenured garbage crossed the threshold: stop
+	AdaptWarm    = "warm"    // site pretenured at startup from a prior run's store
+)
+
+// AdaptDecision is one online pretenuring decision (§9): the advisor
+// promoted, demoted, or warm-started a site. Seq is the collection number
+// the decision fired at (0 for warm-start decisions made before the first
+// collection); Break is the full meter snapshot at decision time, making
+// the timestamp Break.Total() like every other trace record.
+type AdaptDecision struct {
+	Seq         uint64
+	Site        obj.SiteID
+	Verb        string
+	SurvivalPPM uint64 // site survival estimate, parts per million
+	GarbagePPM  uint64 // tenured-garbage fraction since promotion, ppm
+	SampleWords uint64 // decayed sample mass behind the estimate
+	Break       costmodel.Breakdown
+}

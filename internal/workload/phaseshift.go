@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+)
+
+// PhaseShift is the adaptive-pretenuring adversary (§9): a synthetic
+// program whose allocation behaviour inverts partway through the run.
+// Phase 1 builds a cache of node records that all survive until the phase
+// boundary — from the profiler's view the node site is a textbook
+// pretenuring candidate (near-100% survival). At the boundary the cache
+// is discarded wholesale and phase 2 allocates from the same site at the
+// same rate, but every node now dies before its round ends. An offline
+// policy trained on a phase-1 profile therefore pretenures exactly the
+// wrong site for phase 2, filling the tenured generation with garbage;
+// the online advisor must first promote the site (phase 1 evidence) and
+// then recognise the mistraining and demote it. The two-sided mistake is
+// what the demotion machinery is measured against.
+type phaseShiftBench struct{}
+
+// PhaseShift's allocation sites.
+const (
+	psSiteNode obj.SiteID = 1200 + iota // payload records: survive phase 1, die young in phase 2
+	psSiteCell                          // phase-1 cache spine (cons cells, survive phase 1)
+	psSiteTmp                           // per-round temporaries (die young in both phases)
+)
+
+func init() { register(phaseShiftBench{}) }
+
+func (phaseShiftBench) Name() string { return "PhaseShift" }
+
+func (phaseShiftBench) Description() string {
+	return "Synthetic two-phase program: a long-lived node cache built and then discarded, followed by short-lived churn from the same allocation site"
+}
+
+func (phaseShiftBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		psSiteNode: "phase-shifting node record",
+		psSiteCell: "cache spine cell",
+		psSiteTmp:  "round temporary",
+	}
+}
+
+func (phaseShiftBench) OnlyOldSites() []obj.SiteID { return nil }
+
+const (
+	psNodesPerRound = 32
+	psNodeFields    = 8
+)
+
+func (phaseShiftBench) Run(m *Mutator, scale Scale) Result {
+	// main(cache, node, cursor) → round(tmp).
+	main := m.PtrFrame("ps_main", 3)
+	round := m.PtrFrame("ps_round", 1)
+
+	build := scale.Reps(800)
+	churn := scale.Reps(1600)
+
+	var check uint64
+	m.Call(main, func() {
+		m.SetSlotNil(1)
+		// Phase 1: every node is linked into the cache and survives to the
+		// phase boundary, so the node site profiles as ~100% surviving.
+		for r := 0; r < build; r++ {
+			for i := 0; i < psNodesPerRound; i++ {
+				m.AllocRecord(psSiteNode, psNodeFields, 0, 2)
+				v := uint64(r*psNodesPerRound+i)*2654435761 + 97
+				m.InitIntField(2, 0, v)
+				m.InitIntField(2, 1, v^0xffff)
+				m.ConsPtr(psSiteCell, 2, 1, 1)
+				m.Work(4)
+			}
+			m.CallArgs(round, nil, func() {
+				m.AllocRecord(psSiteTmp, 4, 0, 1)
+				m.InitIntField(1, 0, uint64(r))
+				check = check*33 + m.LoadFieldInt(1, 0)
+			})
+		}
+		// Fold the cache into the check, then discard it: the phase shift
+		// throws phase 1's data structure away wholesale.
+		m.SetSlot(3, m.Slot(1))
+		for !m.IsNil(3) {
+			m.Head(3, 2)
+			check = check*31 + m.LoadFieldInt(2, 0)
+			m.Tail(3, 3)
+		}
+		m.SetSlotNil(1)
+		m.SetSlotNil(2)
+		m.SetSlotNil(3)
+		// Phase 2: the same site's nodes now die before the round ends.
+		for r := 0; r < churn; r++ {
+			for i := 0; i < psNodesPerRound; i++ {
+				m.AllocRecord(psSiteNode, psNodeFields, 0, 2)
+				v := uint64(r*psNodesPerRound+i)*2246822519 + 13
+				m.InitIntField(2, 0, v)
+				check = check*37 + m.LoadFieldInt(2, 0)
+				m.SetSlotNil(2)
+				m.Work(4)
+			}
+			m.CallArgs(round, nil, func() {
+				m.AllocRecord(psSiteTmp, 4, 0, 1)
+				m.InitIntField(1, 0, uint64(r))
+				check = check*33 + m.LoadFieldInt(1, 0)
+			})
+		}
+	})
+	return Result{Check: check}
+}
