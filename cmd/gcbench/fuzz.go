@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tilgc/internal/fuzz"
+)
+
+// parseSeedRange parses "A..B" (half-open) or a single seed "A" (one
+// seed: [A, A+1)).
+func parseSeedRange(s string) (from, to uint64, err error) {
+	if i := strings.Index(s, ".."); i >= 0 {
+		from, err = strconv.ParseUint(s[:i], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad seed range %q: %v", s, err)
+		}
+		to, err = strconv.ParseUint(s[i+2:], 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad seed range %q: %v", s, err)
+		}
+		if to < from {
+			return 0, 0, fmt.Errorf("bad seed range %q: end before start", s)
+		}
+		return from, to, nil
+	}
+	from, err = strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad seed %q: %v", s, err)
+	}
+	return from, from + 1, nil
+}
+
+// runFuzzCLI drives the differential fuzzing fleet: replay the corpus,
+// sweep the seed range across the collector matrix, optionally minimize
+// failures, and exit nonzero if anything diverged.
+func runFuzzCLI(seeds, corpusDir string, parallel int, minimize, verbose, progress bool) {
+	exit := 0
+
+	// Committed corpus first: every pinned reproducer must stay fixed.
+	entries, err := fuzz.LoadCorpus(corpusDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcbench:", err)
+		os.Exit(1)
+	}
+	for _, e := range entries {
+		fails := fuzz.CheckProgram(e.Program, nil)
+		if len(fails) == 0 {
+			fmt.Printf("corpus %-40s ok\n", e.Name)
+			continue
+		}
+		exit = 1
+		for _, f := range fails {
+			fmt.Printf("corpus %-40s FAIL %s\n", e.Name, f)
+		}
+	}
+
+	from, to, err := parseSeedRange(seeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcbench:", err)
+		os.Exit(2)
+	}
+	opts := fuzz.Options{
+		From:        from,
+		To:          to,
+		Parallelism: parallel,
+		Minimize:    minimize,
+	}
+	if progress {
+		opts.Progress = func(done, total, failures int) {
+			if done%100 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "[%d/%d] seeds checked, %d failure(s)\n", done, total, failures)
+			}
+		}
+	}
+	rep := fuzz.RunSeeds(opts)
+	rep.Render(os.Stdout, verbose)
+	for _, m := range rep.Minimized {
+		fmt.Printf("--- minimized reproducer for %s ---\n%s", m.Failure, m.Program.Format())
+	}
+	if rep.FailureCount() > 0 {
+		exit = 1
+	}
+	os.Exit(exit)
+}

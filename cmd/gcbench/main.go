@@ -75,10 +75,25 @@ func main() {
 	benchReps := flag.Int("bench-reps", 5, "benchmark repetitions (best-of)")
 	benchRef := flag.Bool("bench-ref", true,
 		"also measure the reference (pre-optimization) kernels for the speedup ratio")
+	fuzzRun := flag.Bool("fuzz", false,
+		"run the differential fuzzing fleet: corpus replay plus a seed sweep over the collector matrix")
+	fuzzSeeds := flag.String("fuzz-seeds", "0..256",
+		"seed range 'A..B' (half-open) or single seed for -fuzz")
+	fuzzMinimize := flag.Bool("fuzz-minimize", false,
+		"shrink failing programs to minimal reproducers (printed in corpus format)")
+	fuzzCorpus := flag.String("fuzz-corpus", "internal/fuzz/corpus",
+		"corpus directory replayed before the seed sweep")
+	fuzzVerbose := flag.Bool("fuzz-verbose", false,
+		"print one report line per seed (deterministic at any -parallel; CI byte-compares this)")
 	flag.Parse()
 
 	if *bench || *benchJSON != "" || *benchBaseline != "" {
 		runBenchCLI(*benchJSON, *benchBaseline, *benchGate, *benchSpeedup, *benchReps, *benchRef)
+		return
+	}
+
+	if *fuzzRun {
+		runFuzzCLI(*fuzzSeeds, *fuzzCorpus, *parallel, *fuzzMinimize, *fuzzVerbose, *progress)
 		return
 	}
 

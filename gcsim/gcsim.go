@@ -149,8 +149,11 @@ type Runtime struct {
 	profiler *prof.Profiler
 }
 
-// NewRuntime builds a runtime per cfg.
+// NewRuntime builds a runtime per cfg. The configuration must be valid
+// (see Config.Validate): option combinations the selected collector would
+// ignore panic here instead of silently running a different experiment.
 func NewRuntime(cfg Config) *Runtime {
+	mustValidate(cfg)
 	meter := costmodel.NewMeter()
 	table := rt.NewTraceTable()
 	stack := rt.NewStack(table, meter)
@@ -167,9 +170,13 @@ func NewRuntime(cfg Config) *Runtime {
 	var col core.Collector
 	switch cfg.Collector {
 	case Semispace:
+		// MarkerN passes through: §5's stack markers apply to the semispace
+		// collector too (the cfg used to pin this to 0, silently ignoring a
+		// requested spacing — one of the gaps Validate now closes by wiring
+		// rather than rejecting, since the core supports it).
 		col = core.NewSemispace(stack, meter, hook, core.SemispaceConfig{
 			BudgetWords: budget,
-			MarkerN:     0,
+			MarkerN:     cfg.MarkerN,
 		})
 	default:
 		gcfg := core.GenConfig{

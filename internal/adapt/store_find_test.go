@@ -1,0 +1,49 @@
+package adapt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestStoreFindDuplicatesRoundTrip extends the last-wins pin to the disk
+// format: a store holding several profiles for the same workload (the
+// append-a-sweep-to-an-existing-file pattern) must keep every duplicate
+// through a write/read cycle, resolve Find to the newest one after
+// rereading, and rewrite byte-identically — otherwise appending a sweep
+// would silently rewrite history on the next save.
+func TestStoreFindDuplicatesRoundTrip(t *testing.T) {
+	s := &Store{Profiles: []*RunProfile{
+		{Label: "sweep1", Workload: "Nqueen", Sites: []SiteSeed{{Site: 1, SurvWords: 10}}},
+		{Label: "sweep1", Workload: "Peg", Sites: []SiteSeed{{Site: 2, SurvWords: 20}}},
+		{Label: "sweep2", Workload: "Nqueen", Sites: []SiteSeed{{Site: 1, SurvWords: 99}}},
+	}}
+
+	if got := s.Find("Nqueen"); got == nil || got.Label != "sweep2" || got.Sites[0].SurvWords != 99 {
+		t.Fatalf("Find(Nqueen) = %+v, want the sweep2 profile (last wins)", got)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Profiles) != 3 {
+		t.Fatalf("round-trip kept %d profiles, want 3 (duplicates preserved)", len(back.Profiles))
+	}
+	if p := back.Find("Nqueen"); p == nil || p.Label != "sweep2" || p.Sites[0].SurvWords != 99 {
+		t.Fatalf("reread Find(Nqueen) = %+v, want sweep2/99", p)
+	}
+	if p := back.Find("Peg"); p == nil || p.Label != "sweep1" {
+		t.Fatalf("reread Find(Peg) = %+v, want the only Peg profile", p)
+	}
+	var buf2 bytes.Buffer
+	if err := back.WriteJSONL(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("write-read-write is not byte-identical for a duplicate-workload store")
+	}
+}

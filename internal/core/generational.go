@@ -133,9 +133,9 @@ type Generational struct {
 	// itself, the sorted dirty-card ids, and the expanded card field
 	// addresses. Reused so steady-state minor collections allocate
 	// nothing on the Go heap.
-	ev       evacuator
-	cardBuf  []uint64
-	cardFAs  []mem.Addr
+	ev      evacuator
+	cardBuf []uint64
+	cardFAs []mem.Addr
 
 	stats GCStats
 }
@@ -536,11 +536,10 @@ func (c *Generational) processBarrier(ev *evacuator) {
 	if c.cards != nil {
 		// The field-address list is materialized in full before any
 		// forwarding: promotions move the tenured frontier mid-drain, and
-		// interleaving the Contains checks with copies would let a card
+		// interleaving the layout walk with copies would let a card
 		// spanning the frontier pick up newly promoted fields.
 		c.collectCardFieldAddrs()
 		for _, fa := range c.cardFAs {
-			c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
 			c.forwardIfYoung(ev, fa, nid)
 		}
 		c.cards.Drain()
@@ -558,28 +557,111 @@ func (c *Generational) processBarrier(ev *evacuator) {
 	})
 }
 
-// collectCardFieldAddrs expands dirty cards to the field addresses they
-// cover that lie within allocated, non-nursery space, filling the pooled
-// cardBuf/cardFAs buffers (no per-collection allocation at steady state).
+// collectCardFieldAddrs expands dirty cards to the pointer-field
+// addresses they cover, filling the pooled cardBuf/cardFAs buffers (no
+// per-collection allocation at steady state). Expansion is
+// object-precise: each card is resolved against the object layout of
+// its space, so only genuine pointer fields are materialized. The
+// previous word-blind expansion treated every allocated word under a
+// dirty card as a candidate pointer; a raw field whose bits happened to
+// spell a young-space address would be "forwarded" — decoding garbage
+// as an object header (crash) or silently rewriting client data (found
+// by differential fuzzing, seeds 3892 and 29187; pinned in
+// internal/fuzz/corpus). The cost model is unchanged: ScanPtrTest per
+// allocated word under a dirty card, the price of examining the card.
 func (c *Generational) collectCardFieldAddrs() {
 	c.cardBuf = c.cards.AppendCards(c.cardBuf[:0])
 	c.cardFAs = c.cardFAs[:0]
-	for _, id := range c.cardBuf {
+	for i, j := 0, 0; i < len(c.cardBuf); i = j {
+		first, _ := c.cards.CardBounds(c.cardBuf[i])
+		spid := first.Space()
+		for j = i + 1; j < len(c.cardBuf); j++ {
+			if s, _ := c.cards.CardBounds(c.cardBuf[j]); s.Space() != spid {
+				break
+			}
+		}
+		c.cardFAs = c.appendSpaceCardFAs(c.cardFAs, spid, c.cardBuf[i:j])
+	}
+}
+
+// appendSpaceCardFAs resolves one space's dirty cards (ascending) into
+// the pointer-field addresses they cover, appending to fas. Young
+// spaces are skipped — their survivors are fully scanned during
+// evacuation — as are spaces freed since the recording store (dead
+// large objects).
+func (c *Generational) appendSpaceCardFAs(fas []mem.Addr, spid mem.SpaceID, cards []uint64) []mem.Addr {
+	if c.isYoung(spid) {
+		return fas
+	}
+	sp := c.heap.Space(spid)
+	if sp == nil {
+		return fas
+	}
+	top := sp.Used() + 1 // offsets [1, top) are allocated
+	for _, id := range cards {
 		start, n := c.cards.CardBounds(id)
-		if c.isYoung(start.Space()) {
+		lo, hi := max(start.Offset(), 1), start.Offset()+n
+		if hi > top {
+			hi = top
+		}
+		if hi > lo {
+			c.meter.ChargeN(costmodel.GCCopy, costmodel.ScanPtrTest, hi-lo)
+		}
+	}
+	if la, ok := c.los.ObjectIn(spid); ok {
+		return c.appendObjectCardFAs(fas, obj.Decode(c.heap, la), cards)
+	}
+	// Bump-allocated spaces hold contiguous objects in [1, Used()]; walk
+	// them in address order, advancing the card cursor alongside so the
+	// walk stops once the dirty window is exhausted.
+	k := 0
+	for off := uint64(1); off < top && k < len(cards); {
+		o := obj.Decode(c.heap, mem.MakeAddr(spid, off))
+		end := off + o.SizeWords()
+		for k < len(cards) {
+			s, n := c.cards.CardBounds(cards[k])
+			if s.Offset()+n <= off {
+				k++ // card wholly before this object
+				continue
+			}
+			break
+		}
+		if k < len(cards) {
+			if s, _ := c.cards.CardBounds(cards[k]); s.Offset() < end {
+				fas = c.appendObjectCardFAs(fas, o, cards[k:])
+			}
+		}
+		off = end
+	}
+	return fas
+}
+
+// appendObjectCardFAs appends o's pointer-field addresses that fall
+// inside the dirty cards (ascending), stopping at the first card past
+// the object's payload.
+func (c *Generational) appendObjectCardFAs(fas []mem.Addr, o obj.Object, cards []uint64) []mem.Addr {
+	if o.Kind == obj.RawArray || o.Len == 0 {
+		return fas
+	}
+	p0 := o.PayloadAddr(0).Offset()
+	p1 := p0 + o.Len
+	for _, id := range cards {
+		start, n := c.cards.CardBounds(id)
+		lo, hi := start.Offset(), start.Offset()+n
+		if lo >= p1 {
+			break
+		}
+		if hi <= p0 {
 			continue
 		}
-		sp := c.heap.Space(start.Space())
-		if sp == nil {
-			continue // card in a freed large-object space
-		}
-		for i := uint64(0); i < n; i++ {
-			fa := start.Add(i)
-			if sp.Contains(fa) {
-				c.cardFAs = append(c.cardFAs, fa)
+		lo, hi = max(lo, p0), min(hi, p1)
+		for w := lo; w < hi; w++ {
+			if o.IsPtrField(w - p0) {
+				fas = append(fas, o.PayloadAddr(w-p0))
 			}
 		}
 	}
+	return fas
 }
 
 // forwardIfYoung forwards the value at field address fa when it points

@@ -99,7 +99,6 @@ func (c *Generational) refProcessBarrier(ev *evacuator) {
 	nid := c.nursery.ID()
 	if c.cards != nil {
 		for _, fa := range c.refCardFieldAddrs() {
-			c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
 			c.forwardIfYoung(ev, fa, nid)
 		}
 		c.cards.Drain()
@@ -118,26 +117,24 @@ func (c *Generational) refProcessBarrier(ev *evacuator) {
 	c.ssb.Drain()
 }
 
-// refCardFieldAddrs expands dirty cards to the field addresses they cover
-// that lie within allocated, non-nursery space, as a freshly allocated
-// slice.
+// refCardFieldAddrs expands dirty cards to the pointer-field addresses
+// they cover, as a freshly allocated slice per collection. It shares the
+// object-precise per-space resolution with the optimized kernel: card
+// expansion must consult object layout in both, or a raw word aliasing
+// a young address would be treated as a pointer (the seed 3892/29187
+// corpus pins).
 func (c *Generational) refCardFieldAddrs() []mem.Addr {
 	var out []mem.Addr
-	for _, id := range c.cards.Cards() {
-		start, n := c.cards.CardBounds(id)
-		if c.isYoung(start.Space()) {
-			continue
-		}
-		sp := c.heap.Space(start.Space())
-		if sp == nil {
-			continue // card in a freed large-object space
-		}
-		for i := uint64(0); i < n; i++ {
-			fa := start.Add(i)
-			if sp.Contains(fa) {
-				out = append(out, fa)
+	cards := c.cards.Cards()
+	for i, j := 0, 0; i < len(cards); i = j {
+		first, _ := c.cards.CardBounds(cards[i])
+		spid := first.Space()
+		for j = i + 1; j < len(cards); j++ {
+			if s, _ := c.cards.CardBounds(cards[j]); s.Space() != spid {
+				break
 			}
 		}
+		out = c.appendSpaceCardFAs(out, spid, cards[i:j])
 	}
 	return out
 }

@@ -1,0 +1,201 @@
+package fuzz
+
+import (
+	"testing"
+
+	"tilgc/internal/core"
+	"tilgc/internal/mem"
+	"tilgc/internal/obj"
+)
+
+// Broken-collector injection suite: each test seeds a specific corruption
+// into an otherwise-correct collector through the matrix's wrap hook and
+// asserts that the oracle designed for that corruption class fires. This
+// is the end-to-end proof that a clean sweep means something — if a
+// seeded bug of each class slips past every oracle, a real one would too.
+//
+// The one oracle kind without a wrapper-level injection is FailTrace: the
+// recorder reconciles against the cost meter, which a Collector-interface
+// wrapper cannot reach. internal/trace's own validation tests cover that
+// oracle's teeth.
+
+// broken delegates the full Collector surface plus Inspect, so the
+// sanitizer can still see through an injected wrapper to the real heap
+// (otherwise every check would fail on "not inspectable" rather than on
+// the corruption under test).
+type broken struct{ core.Collector }
+
+func (b broken) Inspect() core.Inspection {
+	return b.Collector.(core.Inspectable).Inspect()
+}
+
+// siteRemap mutates every allocation's site id: client-visible (the
+// fingerprint folds sites), collector-legal (the heap stays perfectly
+// consistent), and quiet (no crash, no invariant broken) — exactly the
+// class of bug only differential comparison can catch.
+type siteRemap struct{ broken }
+
+func (s siteRemap) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
+	return s.Collector.Alloc(k, length, site%NumSites+1, mask)
+}
+
+// dropBarrier routes pointer stores around the write barrier: the store
+// itself lands (the heap word changes) but no SSB entry or card is
+// recorded, so an old-to-young reference goes unremembered — the classic
+// lost-update barrier bug the sanitizer's remembered-set pass exists for.
+type dropBarrier struct{ broken }
+
+func (d dropBarrier) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
+	if isPtr {
+		d.Collector.InitField(a, i, v)
+		return
+	}
+	d.Collector.StoreField(a, i, v, false)
+}
+
+// panicOnCollect wedges the collector on its nth explicit collection.
+type panicOnCollect struct {
+	broken
+	left *int
+}
+
+func (p panicOnCollect) Collect(major bool) {
+	*p.left--
+	if *p.left <= 0 {
+		panic("injected: collector wedged")
+	}
+	p.Collector.Collect(major)
+}
+
+// genCfg returns a plain generational matrix entry decorated by wrap.
+func genCfg(name string, wrap func(core.Collector) core.Collector) Config {
+	return Config{Name: name, wrap: wrap}
+}
+
+// divergentMatrix pairs the clean semispace baseline with a site-remapped
+// generational collector (shared with the shrinker tests).
+func divergentMatrix() []Config {
+	return []Config{
+		{Name: "semispace", Semispace: true},
+		genCfg("gen", func(c core.Collector) core.Collector { return siteRemap{broken{c}} }),
+	}
+}
+
+// kindsOf collects the failure kinds present in fails.
+func kindsOf(fails []Failure) map[FailKind]int {
+	m := make(map[FailKind]int)
+	for _, f := range fails {
+		m[f.Kind]++
+	}
+	return m
+}
+
+// testSeeds is the fixed seed set the injection tests run over; a small
+// window still covers several generation profiles.
+var testSeeds = []uint64{0, 1, 2}
+
+// TestInjectionControl: the identity wrap changes nothing — the broken
+// delegation shell itself must not trip any oracle, or every other test
+// in this file would be measuring the shell.
+func TestInjectionControl(t *testing.T) {
+	cfgs := []Config{
+		{Name: "semispace", Semispace: true},
+		genCfg("gen", func(c core.Collector) core.Collector { return broken{c} }),
+	}
+	for _, seed := range testSeeds {
+		if fails := CheckProgram(Generate(seed), cfgs); len(fails) != 0 {
+			t.Fatalf("seed %d: identity wrapper tripped oracles: %v", seed, fails)
+		}
+	}
+}
+
+// TestInjectedDivergence: a silent client-visible corruption (site remap)
+// must surface as FailDivergence against the baseline — and as nothing
+// louder, since the corrupted collector is internally consistent.
+func TestInjectedDivergence(t *testing.T) {
+	for _, seed := range testSeeds {
+		fails := CheckProgram(Generate(seed), divergentMatrix())
+		kinds := kindsOf(fails)
+		if kinds[FailDivergence] == 0 {
+			t.Fatalf("seed %d: site remap produced no divergence; kinds: %v", seed, kinds)
+		}
+		for k := range kinds {
+			if k != FailDivergence {
+				t.Fatalf("seed %d: site remap tripped %s, want divergence only: %v", seed, k, fails)
+			}
+		}
+	}
+}
+
+// TestInjectedBarrierDrop: a write-barrier bypass must be caught by the
+// sanitizer's invariant passes (remembered-set completeness or the
+// stale-pointer checks downstream of the lost entry).
+func TestInjectedBarrierDrop(t *testing.T) {
+	cfg := genCfg("gen", func(c core.Collector) core.Collector { return dropBarrier{broken{c}} })
+	caught := false
+	for _, seed := range testSeeds {
+		kinds := kindsOf(CheckProgram(Generate(seed), []Config{cfg}))
+		// A lost remembered-set entry surfaces as a sanitizer violation
+		// when the heap is checked, or as a crash if the collector chases
+		// the stale reference first. Both are loud; neither is silence.
+		if kinds[FailSanitizer] > 0 {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("barrier bypass never produced a sanitizer violation over seeds %v", testSeeds)
+	}
+}
+
+// TestInjectedCrash: a collector panic is contained by the harness and
+// reported as FailCrash rather than taking down the sweep.
+func TestInjectedCrash(t *testing.T) {
+	for _, seed := range testSeeds {
+		n := 2
+		cfg := genCfg("gen", func(c core.Collector) core.Collector {
+			return panicOnCollect{broken{c}, &n}
+		})
+		kinds := kindsOf(CheckProgram(Generate(seed), []Config{cfg}))
+		if kinds[FailCrash] == 0 {
+			t.Fatalf("seed %d: injected panic not reported as a crash; kinds: %v", seed, kinds)
+		}
+	}
+}
+
+// TestInjectedRunTwice: nondeterminism across identical runs — corruption
+// present in the second construction of the collector but not the first —
+// must surface as FailRunTwice.
+func TestInjectedRunTwice(t *testing.T) {
+	seed := testSeeds[0]
+	construction := 0
+	cfg := genCfg("gen", func(c core.Collector) core.Collector {
+		construction++
+		if construction == 2 {
+			return siteRemap{broken{c}}
+		}
+		return broken{c}
+	})
+	kinds := kindsOf(CheckProgram(Generate(seed), []Config{cfg}))
+	if kinds[FailRunTwice] == 0 {
+		t.Fatalf("second-run-only corruption not reported as run-twice; kinds: %v", kinds)
+	}
+}
+
+// TestInjectedWrapperDivergence: corruption present only in the plain
+// (unsanitized, untraced) run must surface as FailWrapper — the oracle
+// that keeps the sanitizer and recorder honest about transparency.
+func TestInjectedWrapperDivergence(t *testing.T) {
+	seed := testSeeds[0]
+	construction := 0
+	cfg := genCfg("gen", func(c core.Collector) core.Collector {
+		construction++
+		if construction == 3 { // checkConfig's third build is the plain run
+			return siteRemap{broken{c}}
+		}
+		return broken{c}
+	})
+	kinds := kindsOf(CheckProgram(Generate(seed), []Config{cfg}))
+	if kinds[FailWrapper] == 0 {
+		t.Fatalf("plain-run-only corruption not reported as wrapper divergence; kinds: %v", kinds)
+	}
+}

@@ -1,0 +1,64 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusEntry is one committed reproducer: a minimized program plus the
+// file it came from.
+type CorpusEntry struct {
+	Name    string // file base name, e.g. "seed-42-divergence.prog"
+	Program *Program
+}
+
+// CorpusExt is the corpus file extension.
+const CorpusExt = ".prog"
+
+// LoadCorpus reads every *.prog file under dir, sorted by name so
+// replay order is deterministic. A missing directory is an empty
+// corpus, not an error.
+func LoadCorpus(dir string) ([]CorpusEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: corpus: %w", err)
+	}
+	var out []CorpusEntry
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), CorpusExt) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus: %w", err)
+		}
+		p, err := ParseString(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus %s: %w", e.Name(), err)
+		}
+		out = append(out, CorpusEntry{Name: e.Name(), Program: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// WriteCorpusFile writes a minimized reproducer to dir in the corpus
+// format, prefixed with a comment describing the failure it pinned.
+// The file name is derived from the seed and failure kind.
+func WriteCorpusFile(dir string, p *Program, fail Failure) (string, error) {
+	name := fmt.Sprintf("seed-%d-%s%s", fail.Seed, fail.Kind, CorpusExt)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", fail.String())
+	b.WriteString(p.Format())
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", fmt.Errorf("fuzz: corpus: %w", err)
+	}
+	return path, nil
+}

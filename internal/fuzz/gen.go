@@ -1,0 +1,161 @@
+package fuzz
+
+// Profile names a generation profile: a weighting of the op set that
+// stresses one feature pairing from the paper's design space.
+type Profile int
+
+const (
+	// ProfileStacks stresses deep stacks × markers × stub returns ×
+	// exception raises (generational stack collection, §5).
+	ProfileStacks Profile = iota
+	// ProfileBarrier stresses SSB floods and card drains: many barriered
+	// old-to-young stores between frequent minor collections (§4).
+	ProfileBarrier
+	// ProfileLOS stresses the large-object space × pretenuring: array
+	// lengths straddling the LOS threshold, aux-byte traffic, and
+	// cross-region stores (§6).
+	ProfileLOS
+	// ProfilePhaseFlip stresses adaptive promote/demote: the program's
+	// site usage flips mid-run, PhaseShift-style, so warm sites go cold
+	// while cold sites go hot (§9 mistrain demotion).
+	ProfilePhaseFlip
+	// ProfileMixed draws every op uniformly.
+	ProfileMixed
+
+	numProfiles
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileStacks:
+		return "stacks"
+	case ProfileBarrier:
+		return "barrier"
+	case ProfileLOS:
+		return "los"
+	case ProfilePhaseFlip:
+		return "phase-flip"
+	case ProfileMixed:
+		return "mixed"
+	}
+	return "profile?"
+}
+
+// ProfileOf returns the generation profile seed selects.
+func ProfileOf(seed uint64) Profile {
+	return Profile(mix64(seed^0x9e0f17e5) % uint64(numProfiles))
+}
+
+const (
+	minOps  = 150
+	spanOps = 450 // ops range over [minOps, minOps+spanOps)
+)
+
+// Generate derives a program from a seed. The mapping is pure: the same
+// seed yields the same program on every platform, forever — a failing
+// seed is a complete bug report.
+func Generate(seed uint64) *Program {
+	r := newRNG(mix64(seed))
+	profile := ProfileOf(seed)
+	n := minOps + r.intn(spanOps)
+	p := &Program{Seed: seed, Ops: make([]Op, 0, n+NumRoots)}
+
+	// Prologue: populate the roots so early field ops have targets.
+	for i := 0; i < NumRoots; i++ {
+		p.Ops = append(p.Ops, Op{
+			Kind: OpAllocRecord,
+			A:    uint16(i), // root() maps this to slot i+1
+			B:    uint16(r.intn(NumSites)),
+			C:    uint16(1 + r.intn(MaxRecordLen)),
+			V:    r.next(),
+		})
+	}
+
+	for i := 0; i < n; i++ {
+		op := Op{
+			A: uint16(r.next() & 0xffff),
+			B: uint16(r.next() & 0xffff),
+			C: uint16(r.next() & 0xffff),
+			V: r.next(),
+		}
+		op.Kind = pickKind(r, profile)
+		if profile == ProfilePhaseFlip {
+			// Flip the site population at half-run: sites 1..3 first,
+			// then 4..6, so the adaptive advisor trains on a regime that
+			// stops being true.
+			if i < n/2 {
+				op.B = uint16(op.B % (NumSites / 2))
+			} else {
+				op.B = uint16(NumSites/2 + op.B%(NumSites-NumSites/2))
+			}
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return p
+}
+
+// weighted is one entry of a profile's op-weight table.
+type weighted struct {
+	kind   OpKind
+	weight int
+}
+
+// profileWeights gives each profile's op mix. Weights are relative.
+var profileWeights = [numProfiles][]weighted{
+	ProfileStacks: {
+		{OpCall, 18}, {OpReturn, 14}, {OpPushHandler, 6}, {OpRaise, 4},
+		{OpAllocRecord, 14}, {OpAllocPtrArray, 3},
+		{OpStorePtr, 6}, {OpLoadPtr, 4}, {OpLoadInt, 3},
+		{OpDrop, 4}, {OpDup, 4}, {OpCollect, 4}, {OpWalk, 2}, {OpWork, 4},
+	},
+	ProfileBarrier: {
+		{OpAllocRecord, 16}, {OpAllocPtrArray, 6},
+		{OpStorePtr, 28}, {OpStoreInt, 6},
+		{OpLoadPtr, 5}, {OpLoadInt, 4},
+		{OpDrop, 6}, {OpDup, 5}, {OpCollect, 8},
+		{OpCall, 2}, {OpReturn, 2}, {OpWalk, 3}, {OpWork, 2},
+	},
+	ProfileLOS: {
+		{OpAllocPtrArray, 14}, {OpAllocRawArray, 14}, {OpAllocRecord, 8},
+		{OpStorePtr, 8}, {OpStoreInt, 8}, {OpLoadInt, 6}, {OpLoadPtr, 4},
+		{OpSetAux, 6}, {OpGetAux, 5},
+		{OpDrop, 6}, {OpDup, 3}, {OpCollect, 6}, {OpWalk, 3}, {OpWork, 2},
+	},
+	ProfilePhaseFlip: {
+		{OpAllocRecord, 24}, {OpAllocPtrArray, 6}, {OpAllocRawArray, 4},
+		{OpStorePtr, 8}, {OpStoreInt, 4}, {OpLoadInt, 4},
+		{OpDrop, 12}, {OpDup, 4}, {OpCollect, 10},
+		{OpCall, 2}, {OpReturn, 2}, {OpWalk, 2}, {OpWork, 2},
+	},
+	ProfileMixed: {
+		{OpAllocRecord, 10}, {OpAllocPtrArray, 6}, {OpAllocRawArray, 5},
+		{OpStorePtr, 8}, {OpStoreInt, 5}, {OpLoadPtr, 5}, {OpLoadInt, 5},
+		{OpDrop, 5}, {OpDup, 5}, {OpCollect, 5},
+		{OpCall, 6}, {OpReturn, 5}, {OpPushHandler, 3}, {OpRaise, 2},
+		{OpSetAux, 3}, {OpGetAux, 3}, {OpWalk, 4}, {OpWork, 3},
+	},
+}
+
+// profileTotals caches each profile's weight sum.
+var profileTotals = func() [numProfiles]int {
+	var totals [numProfiles]int
+	for i, ws := range profileWeights {
+		for _, w := range ws {
+			totals[i] += w.weight
+		}
+	}
+	return totals
+}()
+
+// pickKind draws an op kind from the profile's weight table.
+func pickKind(r *rng, p Profile) OpKind {
+	x := r.intn(profileTotals[p])
+	for _, w := range profileWeights[p] {
+		x -= w.weight
+		if x < 0 {
+			return w.kind
+		}
+	}
+	return OpWork // unreachable
+}

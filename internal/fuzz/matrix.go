@@ -1,0 +1,94 @@
+package fuzz
+
+import (
+	"tilgc/internal/core"
+	"tilgc/internal/obj"
+)
+
+// Matrix constants. Tight budgets make collections frequent: a 256-word
+// nursery turns a few hundred ops into dozens of minor collections, and
+// a LOS threshold of 64 words sits inside the generated array-length
+// range so the same program exercises both small-array and LOS paths.
+const (
+	nurseryWords     = 256
+	largeObjectWords = 64
+	budgetSlackWords = 8192
+	fuzzMarkerN      = 3
+	fuzzAgingMinors  = 2
+)
+
+// PretenureSites is the site subset the ±pretenure matrix entries
+// allocate directly into the tenured generation.
+var PretenureSites = []obj.SiteID{3, 5}
+
+// Config is one collector configuration in the differential matrix.
+type Config struct {
+	// Name labels the configuration in failures and reports.
+	Name string
+	// Semispace selects the semispace baseline instead of the
+	// generational collector.
+	Semispace bool
+	// MarkerN enables generational stack collection with this spacing.
+	MarkerN int
+	// Cards replaces the SSB with card marking.
+	Cards bool
+	// AgingMinors delays promotion through an aging space.
+	AgingMinors int
+	// Pretenure statically pretenures PretenureSites.
+	Pretenure bool
+	// Adapt attaches the online pretenuring advisor.
+	Adapt bool
+
+	// wrap, when non-nil, decorates the freshly-built collector before
+	// the program runs. It exists for the broken-collector injection
+	// tests, which prove the oracles catch seeded corruption end-to-end.
+	wrap func(core.Collector) core.Collector
+}
+
+// Matrix returns the standard differential matrix. The first entry is
+// the baseline every other configuration's client-visible results are
+// compared against. Scan elision is deliberately absent: its OnlyOldRefs
+// contract is an assertion about the workload, which arbitrary generated
+// programs do not honor.
+func Matrix() []Config {
+	return []Config{
+		{Name: "semispace", Semispace: true},
+		{Name: "semispace+markers", Semispace: true, MarkerN: fuzzMarkerN},
+		{Name: "gen"},
+		{Name: "gen+markers", MarkerN: fuzzMarkerN},
+		{Name: "gen+cards", Cards: true},
+		{Name: "gen+pretenure", Pretenure: true},
+		{Name: "gen+aging", AgingMinors: fuzzAgingMinors},
+		{Name: "gen+aging+cards", AgingMinors: fuzzAgingMinors, Cards: true},
+		{Name: "gen+adapt", Adapt: true},
+		{Name: "gen+markers+adapt", MarkerN: fuzzMarkerN, Adapt: true},
+	}
+}
+
+// siteNames labels the fuzz allocation sites for profiler and trace
+// output (identical across configs so trace bytes stay comparable).
+var siteNames = func() map[obj.SiteID]string {
+	m := make(map[obj.SiteID]string, NumSites)
+	names := [NumSites]string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i := 0; i < NumSites; i++ {
+		m[obj.SiteID(i+1)] = names[i]
+	}
+	return m
+}()
+
+// budgetFor sizes a program's memory budget: live data can never exceed
+// what the program allocates, so twice that plus slack keeps every
+// configuration inside its budget while staying tight enough to force
+// frequent collections via the small nursery.
+func budgetFor(p *Program) uint64 {
+	return 2*p.AllocWords() + budgetSlackWords
+}
+
+// pretenurePolicy builds the static policy for ±pretenure entries.
+func pretenurePolicy() *core.PretenurePolicy {
+	sites := make(map[obj.SiteID]core.PretenureDecision, len(PretenureSites))
+	for _, s := range PretenureSites {
+		sites[s] = core.PretenureDecision{}
+	}
+	return core.NewPretenurePolicy(sites)
+}

@@ -1,0 +1,37 @@
+package fuzz
+
+// rng is a splitmix64 generator (Steele, Lea, Flood 2014): a tiny,
+// stdlib-free PRNG whose entire state is one word, so a program is a pure
+// function of its 64-bit seed on every platform. The fuzz package sits
+// inside the gclint detrand fence, which bans math/rand outright — the
+// whole point of the fleet is that seed N is the same program on every
+// machine, forever.
+type rng struct{ state uint64 }
+
+// newRNG seeds a generator. Seed 0 is valid (splitmix64 has no weak
+// seeds; the additive constant separates successive states).
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// mix64 is the splitmix64 output function, also used standalone to derive
+// deterministic per-field values from op payloads.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next returns the next 64-bit value.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// chance reports true with probability num/den.
+func (r *rng) chance(num, den int) bool {
+	return r.intn(den) < num
+}

@@ -97,6 +97,41 @@ func (o Options) workers(n int) int {
 	return p
 }
 
+// ParallelEach runs fn(i) for every i in [0, n) across a bounded worker
+// pool and returns when all calls complete. parallelism <= 0 means
+// GOMAXPROCS; parallelism 1 is the serial path, executing indices in
+// order. Work is claimed off a shared atomic counter, so callers that
+// write fn's results into out[i] get input-order-deterministic output at
+// any parallelism — the same discipline RunAll uses for run batches, and
+// what the fuzz driver fans seed ranges over.
+func ParallelEach(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := parallelism; w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // RunAll executes every config, fanning the runs out across a bounded
 // worker pool, and assembles the results in input order: out[i] is
 // Run(cfgs[i]). Because runs are deterministic and share no mutable
@@ -121,45 +156,32 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 		opts.Events(e)
 	}
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := opts.workers(len(cfgs)); w > 0; w-- {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(cfgs) {
-					return
-				}
-				emit(Event{Kind: EventRunStarted, Index: i, Total: len(cfgs), Config: cfgs[i]})
-				cfg := cfgs[i]
-				if opts.Sanitize {
-					cfg.Sanitize = true
-				}
-				if opts.Trace || opts.TraceSink != nil {
-					cfg.Trace = true
-				}
-				if (opts.Adapt || opts.AdaptSink != nil) && cfg.Kind != KindSemispace {
-					cfg.Adapt = true
-				}
-				if cfg.Adapt && cfg.AdaptWarm == nil {
-					cfg.AdaptWarm = opts.AdaptWarm.Find(cfg.Workload)
-				}
-				r, err := Run(cfg)
-				results[i], errs[i] = r, err
-				done := Event{Kind: EventRunFinished, Index: i, Total: len(cfgs), Config: cfgs[i], Err: err}
-				if r != nil {
-					done.GCs = r.Stats.NumGC
-					done.MaxPauseSec = costmodel.Cycles(r.Stats.MaxPauseCycles).Seconds()
-					done.TotalSec = r.Total()
-					done.Times = r.Times
-				}
-				emit(done)
-			}
-		}()
-	}
-	wg.Wait()
+	ParallelEach(len(cfgs), opts.workers(len(cfgs)), func(i int) {
+		emit(Event{Kind: EventRunStarted, Index: i, Total: len(cfgs), Config: cfgs[i]})
+		cfg := cfgs[i]
+		if opts.Sanitize {
+			cfg.Sanitize = true
+		}
+		if opts.Trace || opts.TraceSink != nil {
+			cfg.Trace = true
+		}
+		if (opts.Adapt || opts.AdaptSink != nil) && cfg.Kind != KindSemispace {
+			cfg.Adapt = true
+		}
+		if cfg.Adapt && cfg.AdaptWarm == nil {
+			cfg.AdaptWarm = opts.AdaptWarm.Find(cfg.Workload)
+		}
+		r, err := Run(cfg)
+		results[i], errs[i] = r, err
+		done := Event{Kind: EventRunFinished, Index: i, Total: len(cfgs), Config: cfgs[i], Err: err}
+		if r != nil {
+			done.GCs = r.Stats.NumGC
+			done.MaxPauseSec = costmodel.Cycles(r.Stats.MaxPauseCycles).Seconds()
+			done.TotalSec = r.Total()
+			done.Times = r.Times
+		}
+		emit(done)
+	})
 
 	if opts.TraceSink != nil {
 		batch := make([]*trace.RunData, 0, len(results))

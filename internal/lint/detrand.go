@@ -25,6 +25,12 @@ var detPackages = []string{
 	// allocation placement, so any nondeterminism here changes heap layout,
 	// GC counts, and the cross-run profile store.
 	"internal/adapt",
+	// The differential fuzzer's whole value is replayability: a seed must
+	// regenerate the exact program and the exact failure, and serial and
+	// parallel sweeps must render byte-identical reports. Host randomness
+	// or clock reads in the generator, interpreter, or driver would turn
+	// every reported seed into an unreplayable one-off.
+	"internal/fuzz",
 }
 
 // detrandBanned maps package path -> banned member names. An empty set

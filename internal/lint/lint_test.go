@@ -18,6 +18,7 @@ var fixturePatterns = []string{
 	"./testdata/src/internal/core",
 	"./testdata/src/internal/trace",
 	"./testdata/src/internal/adapt",
+	"./testdata/src/internal/fuzz",
 	"./testdata/src/cfg",
 }
 

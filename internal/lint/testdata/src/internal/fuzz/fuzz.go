@@ -1,0 +1,42 @@
+// Package fuzz is a gclint test fixture whose import path ends in
+// internal/fuzz, placing it inside the detrand determinism fence: the
+// differential fuzzer's contract is that a seed alone replays the exact
+// program and failure, so an unseeded randomness source or wall-clock
+// read in the generator or sweep driver would make every reported seed
+// unreplayable.
+package fuzz
+
+import (
+	"math/rand" // want: import of math/rand
+	"time"
+)
+
+// Op is a stand-in mutator operation.
+type Op struct {
+	Kind int
+	V    uint64
+}
+
+// MutateFree perturbs a program with host randomness instead of the
+// seeded splitmix generator.
+func MutateFree(ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	ops[rand.Intn(len(ops))].V++
+}
+
+// StampReport timestamps a sweep report from the wall clock, which would
+// break serial-vs-parallel byte-identity of rendered reports.
+func StampReport() uint64 {
+	return uint64(time.Now().UnixNano()) // want: time.Now
+}
+
+// Mix64 is clean: the deterministic splitmix64 finalizer the real
+// generator derives everything from.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -15,9 +15,10 @@ import (
 // benchmark's root processing expensive (§4) and motivates the
 // card-marking alternative.
 type SSB struct {
-	meter   *costmodel.Meter
-	entries []mem.Addr
-	total   uint64 // lifetime count, for Table 2's "Number of Pointer Updates"
+	meter    *costmodel.Meter
+	entries  []mem.Addr
+	total    uint64 // lifetime count, for Table 2's "Number of Pointer Updates"
+	draining bool   // re-entrancy guard: see DrainTo
 }
 
 // NewSSB creates an empty store buffer charging barrier costs to meter.
@@ -28,6 +29,9 @@ func NewSSB(meter *costmodel.Meter) *SSB {
 // Record logs a pointer update to the heap field at addr. Called by the
 // mutator on every pointer store; charges the write-barrier cost.
 func (b *SSB) Record(addr mem.Addr) {
+	if b.draining {
+		panic("rt: SSB.Record during DrainTo — the drain iterates the live buffer, so a recorded entry would be appended to (or dropped from) the very slice being walked")
+	}
 	b.entries = append(b.entries, addr)
 	b.total++
 	b.meter.Charge(costmodel.Client, costmodel.WriteBarrier)
@@ -47,10 +51,17 @@ func (b *SSB) Entries() []mem.Addr {
 // DrainTo invokes fn on every buffered entry in record order, then empties
 // the buffer. Unlike Entries it does not copy: the mutator is stopped
 // while the collector drains, so no Record can run concurrently, and fn
-// must not call Record or Drain itself. This is the minor-GC path —
-// draining allocates nothing on the Go heap no matter how many updates
-// the mutator buffered.
+// must not call Record, Drain, or DrainTo itself — the buffer is being
+// iterated in place, so re-entry would walk a slice mutating under it.
+// That contract is enforced: re-entrant calls panic rather than silently
+// corrupting the barrier. This is the minor-GC path — draining allocates
+// nothing on the Go heap no matter how many updates the mutator buffered.
 func (b *SSB) DrainTo(fn func(mem.Addr)) {
+	if b.draining {
+		panic("rt: SSB.DrainTo re-entered from its own callback")
+	}
+	b.draining = true
+	defer func() { b.draining = false }()
 	for _, fa := range b.entries {
 		fn(fa)
 	}
@@ -59,6 +70,9 @@ func (b *SSB) DrainTo(fn func(mem.Addr)) {
 
 // Drain empties the buffer (after the collector has processed it).
 func (b *SSB) Drain() {
+	if b.draining {
+		panic("rt: SSB.Drain during DrainTo — the drain's own iteration owns the buffer")
+	}
 	b.entries = b.entries[:0]
 }
 

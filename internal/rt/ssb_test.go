@@ -85,6 +85,83 @@ func TestSSBDrainToDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestSSBDrainToReentrancy: DrainTo iterates the live buffer in place, so
+// its callback must not touch the buffer. The contract used to be a doc
+// comment only; a callback that Recorded (appending into the slice being
+// walked) or Drained (truncating it mid-iteration) silently corrupted the
+// barrier. Now every re-entrant path panics.
+func TestSSBDrainToReentrancy(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s during DrainTo did not panic", name)
+			}
+		}()
+		f()
+	}
+
+	mk := func() *SSB {
+		b := NewSSB(costmodel.NewMeter())
+		b.Record(0x100)
+		b.Record(0x108)
+		return b
+	}
+
+	b := mk()
+	mustPanic("Record", func() { b.DrainTo(func(mem.Addr) { b.Record(0x200) }) })
+	b = mk()
+	mustPanic("Drain", func() { b.DrainTo(func(mem.Addr) { b.Drain() }) })
+	b = mk()
+	mustPanic("DrainTo", func() { b.DrainTo(func(mem.Addr) { b.DrainTo(func(mem.Addr) {}) }) })
+
+	// The guard resets after a panic unwinds, so the barrier remains usable
+	// (the collector's own recover/teardown path must not be wedged).
+	b = mk()
+	func() {
+		defer func() { recover() }()
+		b.DrainTo(func(mem.Addr) { b.Record(0x300) })
+	}()
+	b.Record(0x400)
+	b.DrainTo(func(mem.Addr) {})
+	if b.Len() != 0 {
+		t.Fatalf("buffer not drained after guard reset: Len=%d", b.Len())
+	}
+}
+
+// TestCardTableCardsOrder pins Cards()'s ascending-address contract under
+// duplicate and out-of-order Records: the collector scans cards in exactly
+// this order, so map-iteration order leaking through here would change
+// copy order, space layout, and cost accounting between runs.
+func TestCardTableCardsOrder(t *testing.T) {
+	c := NewCardTable(costmodel.NewMeter(), 3)
+	// Out of order, with duplicates both exact (0x500 twice) and via
+	// distinct addresses on one card (0x100 and 0x104 share card 0x20).
+	for _, a := range []mem.Addr{0x500, 0x100, 0x500, 0x104, 0x40, 0x18} {
+		c.Record(a)
+	}
+	got := c.Cards()
+	want := []uint64{0x18 >> 3, 0x40 >> 3, 0x100 >> 3, 0x500 >> 3}
+	if len(got) != len(want) {
+		t.Fatalf("Cards() = %#x, want %#x (duplicates collapsed)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("card %d = %#x, want %#x (ascending address order)", i, got[i], want[i])
+		}
+	}
+	if c.TotalRecorded() != 6 {
+		t.Fatalf("TotalRecorded = %d, want 6 (every Record counts, even duplicates)", c.TotalRecorded())
+	}
+	// Determinism under re-query: the same dirty set renders identically.
+	again := c.Cards()
+	for i := range want {
+		if again[i] != got[i] {
+			t.Fatalf("second Cards() call differs at %d: %#x vs %#x", i, again[i], got[i])
+		}
+	}
+}
+
 // TestCardTableAppendCards: AppendCards must sort the appended suffix into
 // ascending order, leave any existing prefix untouched, and allocate
 // nothing when the destination buffer has capacity.

@@ -87,34 +87,38 @@ func (ck *checker) checkFromspace() {
 			return
 		}
 		id := a.Space()
-		where := "stack root"
-		if !from.IsNil() {
-			where = fmt.Sprintf("field %v", from)
+		// Lazy: this pass visits every reachable pointer on every check,
+		// so the location string must only be built on a violation.
+		where := func() string {
+			if from.IsNil() {
+				return "stack root"
+			}
+			return fmt.Sprintf("field %v", from)
 		}
 		if int(id) <= 0 || int(id) >= heap.NumSpaces() {
 			ck.report(Violation{Pass: "fromspace", Gen: gen, Addr: a,
-				Msg: fmt.Sprintf("%s points to unknown space %d", where, id)})
+				Msg: fmt.Sprintf("%s points to unknown space %d", where(), id)})
 			return
 		}
 		if !ck.isLive(id) {
 			ck.report(Violation{Pass: "fromspace", Gen: gen, Addr: a,
-				Msg: fmt.Sprintf("%s points into non-live (from-)space %d", where, id)})
+				Msg: fmt.Sprintf("%s points into non-live (from-)space %d", where(), id)})
 			return
 		}
 		sp := heap.Space(id)
 		if sp == nil {
 			ck.report(Violation{Pass: "fromspace", Gen: gen, Addr: a,
-				Msg: fmt.Sprintf("%s points into freed space %d", where, id)})
+				Msg: fmt.Sprintf("%s points into freed space %d", where(), id)})
 			return
 		}
 		if !sp.Contains(a) {
 			ck.report(Violation{Pass: "fromspace", Gen: gen, Addr: a,
-				Msg: fmt.Sprintf("%s points past space %d's allocation frontier", where, id)})
+				Msg: fmt.Sprintf("%s points past space %d's allocation frontier", where(), id)})
 			return
 		}
 		if obj.IsForwarded(heap, a) {
 			ck.report(Violation{Pass: "fromspace", Gen: gen, Addr: a,
-				Msg: fmt.Sprintf("%s reaches a stale forwarded object", where)})
+				Msg: fmt.Sprintf("%s reaches a stale forwarded object", where())})
 			return
 		}
 		if !seen[a] {

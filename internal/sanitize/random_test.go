@@ -2,135 +2,32 @@ package sanitize_test
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"tilgc/internal/core"
-	"tilgc/internal/mem"
-	"tilgc/internal/obj"
-	"tilgc/internal/sanitize"
+	"tilgc/internal/fuzz"
 )
 
-// TestSanitizedRandomMutator drives each collector configuration with a
-// randomized object-graph mutator under an always-on sanitizer wrapper
-// (EveryN 1, panic on violation). Unlike core's shadow-graph test, which
-// compares against a Go-side model, this checks the heap's *internal*
-// invariants — barrier completeness, header well-formedness, marker
-// bookkeeping, cost reconciliation — after every one of the hundreds of
-// collections the tight budgets force.
+// TestSanitizedRandomMutator drives randomized mutator programs under an
+// always-on sanitizer and the package's other oracles. The randomized
+// mutator that used to live here (a hand-rolled math/rand loop) was
+// extracted into internal/fuzz, whose generator is deterministic,
+// seedable, and shared with the gcbench -fuzz differential fleet — so the
+// sanitizer now exercises the very same op mix (deep stacks, barrier
+// floods, LOS traffic, phase flips) the fuzzing fleet sweeps, and a
+// failure here is a one-word reproducer (`gcbench -fuzz -fuzz-seeds N`)
+// instead of an unreplayable rand stream.
+//
+// CheckProgram wraps every matrix collector with sanitize.Wrap (EveryN 1)
+// and reports violations as FailSanitizer failures; the cross-config,
+// run-twice, trace, and wrapper oracles ride along.
 func TestSanitizedRandomMutator(t *testing.T) {
-	pol := core.NewPretenurePolicy(map[obj.SiteID]core.PretenureDecision{
-		3: {}, 5: {OnlyOldRefs: false},
-	})
-	configs := map[string]func(e *env) core.Collector{
-		"semispace": func(e *env) core.Collector {
-			return core.NewSemispace(e.stack, e.meter, nil, core.SemispaceConfig{
-				BudgetWords: 8192, InitialWords: 256, LargeObjectWords: 64})
-		},
-		"gen-tight": func(e *env) core.Collector {
-			return newGen(e, core.GenConfig{BudgetWords: 12288, NurseryWords: 256})
-		},
-		"gen-markers": func(e *env) core.Collector {
-			return newGen(e, core.GenConfig{BudgetWords: 12288, NurseryWords: 256, MarkerN: 3})
-		},
-		"gen-aging": func(e *env) core.Collector {
-			return newGen(e, core.GenConfig{BudgetWords: 16384, NurseryWords: 256, AgingMinors: 2})
-		},
-		"gen-cards": func(e *env) core.Collector {
-			return newGen(e, core.GenConfig{BudgetWords: 12288, NurseryWords: 256, UseCardTable: true})
-		},
-		"gen-pretenure": func(e *env) core.Collector {
-			return newGen(e, core.GenConfig{BudgetWords: 16384, NurseryWords: 256,
-				Pretenure: pol, LargeObjectWords: 64})
-		},
-	}
-	for name, mk := range configs {
-		for seed := int64(1); seed <= 3; seed++ {
-			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
-				runSanitizedMutator(t, mk, seed, 3000)
-			})
-		}
-	}
-}
-
-func runSanitizedMutator(t *testing.T, mk func(e *env) core.Collector, seed int64, ops int) {
-	const nRoots = 8
-	e := newEnv(nRoots)
-	w := sanitize.Wrap(mk(e), sanitize.Options{})
-	rng := rand.New(rand.NewSource(seed))
-	slotOf := func(r int) int { return r + 1 }
-
-	for op := 0; op < ops; op++ {
-		switch rng.Intn(10) {
-		case 0, 1, 2, 3, 4: // allocate, wiring pointer fields to current roots
-			r := rng.Intn(nRoots)
-			kind := obj.Kind(rng.Intn(3))
-			var n, mask uint64
-			switch kind {
-			case obj.Record:
-				n = uint64(rng.Intn(6))
-				mask = uint64(rng.Intn(1 << n))
-			case obj.PtrArray:
-				n = uint64(rng.Intn(8))
-				mask = (1 << n) - 1
-			case obj.RawArray:
-				n = uint64(rng.Intn(96)) // crosses the 64-word LOS threshold
+	for seed := uint64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d/%s", seed, fuzz.ProfileOf(seed)), func(t *testing.T) {
+			p := fuzz.Generate(seed)
+			for _, f := range fuzz.CheckProgram(p, nil) {
+				t.Errorf("%s", f)
 			}
-			site := obj.SiteID(rng.Intn(8) + 1)
-			a := w.Alloc(kind, n, site, mask)
-			for i := uint64(0); i < n; i++ {
-				if kind != obj.RawArray && (mask>>i)&1 == 1 {
-					if src := rng.Intn(nRoots); !mem.Addr(e.stack.Slot(slotOf(src))).IsNil() && rng.Intn(3) > 0 {
-						w.InitField(a, i, e.stack.Slot(slotOf(src)))
-						continue
-					}
-					w.InitField(a, i, uint64(mem.Nil))
-					continue
-				}
-				w.InitField(a, i, rng.Uint64())
-			}
-			e.stack.SetSlot(slotOf(r), uint64(a))
-		case 5, 6: // mutate a pointer field of a root object (through the barrier)
-			r := rng.Intn(nRoots)
-			a := mem.Addr(e.stack.Slot(slotOf(r)))
-			if a.IsNil() {
-				continue
-			}
-			o := obj.Decode(w.Heap(), a)
-			if o.Kind == obj.RawArray || o.Len == 0 {
-				continue
-			}
-			i := uint64(rng.Intn(int(o.Len)))
-			if !o.IsPtrField(i) {
-				continue
-			}
-			w.StoreField(a, i, e.stack.Slot(slotOf(rng.Intn(nRoots))), true)
-		case 7: // mutate a raw field
-			r := rng.Intn(nRoots)
-			a := mem.Addr(e.stack.Slot(slotOf(r)))
-			if a.IsNil() {
-				continue
-			}
-			o := obj.Decode(w.Heap(), a)
-			if o.Len == 0 {
-				continue
-			}
-			i := uint64(rng.Intn(int(o.Len)))
-			if o.IsPtrField(i) {
-				continue
-			}
-			w.StoreField(a, i, rng.Uint64(), false)
-		case 8: // drop a root
-			e.stack.SetSlot(slotOf(rng.Intn(nRoots)), uint64(mem.Nil))
-		case 9: // force a collection
-			w.Collect(rng.Intn(4) == 0)
-		}
-	}
-	w.Collect(true)
-	if vs := w.Check(); len(vs) != 0 {
-		t.Fatalf("final check: %v", vs)
-	}
-	if w.Checks() == 0 {
-		t.Fatal("sanitizer never ran — workload too small to collect")
+		})
 	}
 }
