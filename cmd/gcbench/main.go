@@ -93,6 +93,7 @@ func main() {
 	}
 
 	if *fuzzRun {
+		//lint:ignore detflow -parallel defaults to NumCPU but only sizes the worker pool; fuzz reports are assembled in seed order and CI byte-compares them at every -parallel level
 		runFuzzCLI(*fuzzSeeds, *fuzzCorpus, *parallel, *fuzzMinimize, *fuzzVerbose, *progress)
 		return
 	}
@@ -159,6 +160,7 @@ func main() {
 
 	scale := gcsim.Scale{Repeat: *repeat, Depth: *depth}
 	run := func(name string) {
+		//lint:ignore detflow opts.Parallel defaults to NumCPU but only sizes the worker pool; batches land in issue order and each batch is input-ordered, so the output is identical at every -parallel level
 		if err := gcsim.ExperimentOpts(os.Stdout, name, scale, opts); err != nil {
 			fmt.Fprintln(os.Stderr, "gcbench:", err)
 			os.Exit(1)

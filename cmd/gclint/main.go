@@ -1,57 +1,161 @@
 // Command gclint runs the repository's custom static analyzers (see
 // internal/lint) over the module. It complements `go vet` with checks for
-// the determinism contract this simulator depends on:
+// the determinism and GC-invariant contracts this simulator depends on:
 //
-//	maporder  order-sensitive iteration over Go maps
-//	detrand   randomness / wall-clock / scheduler reads in the core
-//	cfgread   exported Config fields that nothing ever reads
+//	maporder      order-sensitive iteration over Go maps
+//	detrand       randomness / wall-clock / scheduler reads in the core
+//	cfgread       exported Config fields that nothing ever reads
+//	barriercheck  raw heap stores that cannot reach the write barrier
+//	costcharge    exported collector ops that touch state without a charge
+//	seamcheck     raw-word access (Raw/codecs/Addr arithmetic) outside kernels*.go
+//	detflow       host/map-order taint flowing into fence-package sinks
 //
 // Usage:
 //
-//	go run ./cmd/gclint ./...          # whole module (the CI invocation)
-//	go run ./cmd/gclint ./internal/rt  # one package
+//	go run ./cmd/gclint ./...            # whole module (the CI invocation)
+//	go run ./cmd/gclint -json ./...      # machine-readable diagnostics
+//	go run ./cmd/gclint -ignores ./...   # active-suppression inventory
+//	go run ./cmd/gclint -time ./...      # load/analyze wall time to stderr
 //
-// Exits 1 when any diagnostic survives suppression, so it can gate CI.
+// Exit codes are a contract: 0 means no findings, 1 means at least one
+// diagnostic survived suppression, 2 means the load itself failed (bad
+// pattern, type error). CI gates on the exit code and consumes the -json
+// stream.
+//
 // Suppress a finding with a justified comment on the same line or the
-// line above: //lint:ignore <analyzer> <why this one is safe>.
+// line above: //lint:ignore <analyzer> <why this one is safe>. Collector
+// kernels annotate whole functions with //gc:nobarrier <why> or
+// //gc:nocharge <why> (honored only inside the collector packages).
+// Suppressions that no longer suppress anything are themselves findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"tilgc/internal/lint"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gclint [packages]\n\nAnalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the machine-readable diagnostic schema. File paths are
+// module-relative when possible, and the array keeps the framework's
+// stable sort (file, line, col, analyzer).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonSuppression mirrors lint.Suppression for the -json -ignores report.
+type jsonSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Kind     string `json:"kind"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Used     bool   `json:"used"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Diagnostics  []jsonDiag        `json:"diagnostics"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics and suppressions as JSON on stdout")
+	ignores := fs.Bool("ignores", false, "list every active suppression with analyzer, reason, and use state")
+	timing := fs.Bool("time", false, "report load/analyze wall time on stderr")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: gclint [-json] [-ignores] [-time] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.Default() {
-			fmt.Fprintf(os.Stderr, "  %-9s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stderr, "  %-13s %s\n", a.Name, a.Doc)
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	dir, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gclint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gclint:", err)
+		return 2
 	}
-	diags, err := lint.Run(dir, patterns, lint.Default())
+
+	t0 := time.Now()
+	pkgs, err := lint.Load(dir, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gclint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gclint:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	tLoad := time.Since(t0)
+	t1 := time.Now()
+	res := lint.Analyze(pkgs, lint.Default())
+	tAnalyze := time.Since(t1)
+	if *timing {
+		fmt.Fprintf(stderr, "gclint: loaded %d packages in %v, analyzed in %v\n",
+			len(pkgs), tLoad.Round(time.Millisecond), tAnalyze.Round(time.Millisecond))
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "gclint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+
+	if *jsonOut {
+		report := jsonReport{Diagnostics: []jsonDiag{}, Suppressions: []jsonSuppression{}}
+		for _, d := range res.Diagnostics {
+			report.Diagnostics = append(report.Diagnostics, jsonDiag{
+				File: relPath(dir, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, s := range res.Suppressions {
+			report.Suppressions = append(report.Suppressions, jsonSuppression{
+				File: relPath(dir, s.Pos.Filename), Line: s.Pos.Line,
+				Kind: s.Kind, Analyzer: s.Analyzer, Reason: s.Reason, Used: s.Used,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "gclint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		if *ignores {
+			for _, s := range res.Suppressions {
+				fmt.Fprintln(stdout, s)
+			}
+		}
 	}
+
+	if len(res.Diagnostics) > 0 {
+		fmt.Fprintf(stderr, "gclint: %d finding(s)\n", len(res.Diagnostics))
+		return 1
+	}
+	return 0
+}
+
+// relPath renders a diagnostic path relative to the working directory
+// when possible (stable across checkouts for the JSON stream).
+func relPath(dir, path string) string {
+	if rel, err := filepath.Rel(dir, path); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return path
 }

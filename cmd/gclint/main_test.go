@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The tests run the CLI in-process against the lint fixture packages (the
+// test binary's working directory is cmd/gclint, hence the ../.. paths).
+const (
+	cleanFixture  = "../../internal/lint/testdata/src/internal/costmodel"
+	dirtyFixture  = "../../internal/lint/testdata/src/badignore"
+	seamedFixture = "../../internal/lint/testdata/src/internal/core"
+)
+
+// TestExitClean pins exit code 0 for a finding-free package.
+func TestExitClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cleanFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on clean package, want 0\nstdout: %s\nstderr: %s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run wrote to stdout: %s", &stdout)
+	}
+}
+
+// TestExitFindings pins exit code 1 plus the human-readable rendering when
+// diagnostics survive suppression.
+func TestExitFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{dirtyFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d on package with findings, want 1\nstderr: %s", code, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "malformed //lint:ignore") {
+		t.Errorf("stdout missing diagnostic text:\n%s", &stdout)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing findings summary:\n%s", &stderr)
+	}
+}
+
+// TestExitLoadError pins exit code 2 for a pattern that cannot load.
+func TestExitLoadError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/package"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d on bad pattern, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "gclint:") {
+		t.Errorf("stderr missing load error:\n%s", &stderr)
+	}
+}
+
+// TestJSONReport pins the machine-readable schema CI consumes: both
+// top-level arrays present, fields populated, paths module-relative
+// (forward slashes, no absolute paths), and diagnostics in the stable
+// (file, line, col, analyzer) order.
+func TestJSONReport(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", dirtyFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, &stderr)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, &stdout)
+	}
+	if len(report.Diagnostics) != 3 {
+		t.Fatalf("got %d diagnostics, want 3 (2 malformed + 1 stale):\n%s", len(report.Diagnostics), &stdout)
+	}
+	for i, d := range report.Diagnostics {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("diagnostic with empty field: %+v", d)
+		}
+		if strings.HasPrefix(d.File, "/") || strings.Contains(d.File, "\\") {
+			t.Errorf("diagnostic path not module-relative slash form: %q", d.File)
+		}
+		if i > 0 {
+			p := report.Diagnostics[i-1]
+			if p.File > d.File || (p.File == d.File && p.Line > d.Line) {
+				t.Errorf("diagnostics not sorted at %+v", d)
+			}
+		}
+	}
+	if report.Suppressions == nil {
+		t.Error("suppressions array absent (must be [] even when empty)")
+	}
+}
+
+// TestJSONCleanIsEmptyArrays checks a clean -json run still emits the
+// full document shape so CI parsers never special-case the happy path.
+func TestJSONCleanIsEmptyArrays(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", cleanFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, &stderr)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, &stdout)
+	}
+	if report.Diagnostics == nil || report.Suppressions == nil {
+		t.Errorf("clean report must contain both arrays: %s", &stdout)
+	}
+}
+
+// TestIgnoresInventory pins the -ignores rendering: the seam fixture holds
+// used gc:nobarrier/gc:nocharge annotations plus deliberately stale ones,
+// all of which must appear with their use state.
+func TestIgnoresInventory(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// The core fixture has real findings too, so expect exit 1; the
+	// inventory must still be printed after the diagnostics.
+	if code := run([]string{"-ignores", seamedFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, &stderr)
+	}
+	out := stdout.String()
+	for _, want := range []string{"[gc:nobarrier]", "[gc:nocharge]", "[lint:ignore]", "(used)", "(unused)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-ignores output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTimingOutput pins the -time instrumentation CI logs for the
+// single-load performance budget.
+func TestTimingOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-time", cleanFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "loaded") || !strings.Contains(stderr.String(), "analyzed in") {
+		t.Errorf("-time output missing load/analyze report:\n%s", &stderr)
+	}
+}

@@ -141,6 +141,8 @@ type Generational struct {
 }
 
 // NewGenerational creates a generational collector over its own heap.
+//
+//gc:nocharge construction builds the heap before the simulated clock starts; the paper's cost model charges mutator and GC work, not arena setup
 func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg GenConfig) *Generational {
 	cfg.setDefaults()
 	heap := mem.NewHeap()
@@ -387,6 +389,8 @@ func (c *Generational) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
 
 // InitField implements Collector: initializing stores are not pointer
 // updates and skip the barrier.
+//
+//gc:nobarrier initializing stores skip the barrier by design (§6): nursery objects are scanned at the next minor GC anyway, and pretenured objects are covered by the allocated-into region rescan
 func (c *Generational) InitField(a mem.Addr, i uint64, v uint64) {
 	c.meter.Charge(costmodel.Client, costmodel.MutatorStore)
 	obj.SetField(c.heap, a, i, v)
@@ -666,6 +670,8 @@ func (c *Generational) appendObjectCardFAs(fas []mem.Addr, o obj.Object, cards [
 
 // forwardIfYoung forwards the value at field address fa when it points
 // into the nursery.
+//
+//gc:nobarrier collector-internal forwarding during a stop-the-world minor GC: the slot it rewrites is exactly the remembered-set entry being consumed
 func (c *Generational) forwardIfYoung(ev *evacuator, fa mem.Addr, nursery mem.SpaceID) {
 	sp := c.heap.Space(fa.Space())
 	if sp == nil || !sp.Contains(fa) {
@@ -713,6 +719,7 @@ func (c *Generational) scanForYoung(ev *evacuator, a mem.Addr) {
 	c.scanForYoungObject(ev, obj.Decode(c.heap, a))
 }
 
+//gc:nobarrier minor-GC scan kernel: pointer rewrites happen while the world is stopped, on objects the scan itself is enumerating
 func (c *Generational) scanForYoungObject(ev *evacuator, o obj.Object) {
 	c.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
 	c.stats.BytesScanned += o.SizeWords() * mem.WordSize

@@ -150,6 +150,8 @@ func (e *evacuator) forward(v uint64) uint64 {
 // twice). The meter takes one batched per-word charge — never a
 // word-at-a-time loop. The reference kernels keep the load-per-helper,
 // zero-then-copy behaviour.
+//
+//gc:nobarrier Cheney copy kernel: stores land in to-space, which is scanned in full before the mutator resumes
 func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
 	if refKernels {
 		return e.refEvacuate(a)
@@ -233,6 +235,8 @@ func (e *evacuator) drain() {
 // kernel: header, mask, and fields are all read and rewritten through the
 // space's raw arena, so the inner loop performs no per-word space lookup
 // and no Addr arithmetic.
+//
+//gc:nobarrier frontier-scan kernel: it rewrites to-space fields during the stop-the-world scan that the barrier invariant is defined against
 func (e *evacuator) scanAt(sp *mem.Space, off uint64) uint64 {
 	words := sp.Raw()
 	hd := words[off]
@@ -299,6 +303,8 @@ func (e *evacuator) scanDecoded(o obj.Object) {
 }
 
 // forwardField rewrites the pointer stored at field address fa.
+//
+//gc:nobarrier collector-internal pointer rewrite during evacuation; the slot's owner is either a root or an object the scan will cover
 func (e *evacuator) forwardField(fa mem.Addr) {
 	v := e.heap.Load(fa)
 	nv := e.forward(v)

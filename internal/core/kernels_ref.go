@@ -45,6 +45,8 @@ func (e *evacuator) refDrain() {
 // Heap.Load once for the forwarding check and again to decode, and
 // allocates the destination span zeroed (Alloc) before immediately
 // overwriting every word with the copy.
+//
+//gc:nobarrier reference copy kernel: stores land in to-space, which is scanned in full before the mutator resumes
 func (e *evacuator) refEvacuate(a mem.Addr) mem.Addr {
 	if obj.IsForwarded(e.heap, a) {
 		return obj.Forwarding(e.heap, a)

@@ -36,6 +36,8 @@ func NewLOS(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats) *LOS {
 }
 
 // Alloc allocates a large object in its own arena.
+//
+//gc:nocharge the collector Alloc entry points charge the allocation before routing large objects here; charging again would double-count the words
 func (l *LOS) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
 	size := obj.SizeWords(k, length)
 	s := l.heap.AddSpace(size)

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CallGraph is a static over-approximation of the module's call
+// structure: every function declared in a loaded module package, with the
+// statically resolvable callees of its body (direct calls, concrete
+// method calls, package-qualified calls; function literals are attributed
+// to the enclosing declaration). Calls through interfaces or function
+// values resolve to the interface method / nothing, so reachability
+// queries are conservative: an edge that cannot be proven is absent.
+type CallGraph struct {
+	nodes map[*types.Func]*callNode
+}
+
+type callNode struct {
+	decl    *ast.FuncDecl
+	pkg     *Package
+	callees []*types.Func // deduplicated, in source order
+}
+
+// buildCallGraph constructs the call graph over the loaded packages.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*callNode)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &callNode{decl: fd, pkg: p}
+				seen := make(map[*types.Func]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := staticCallee(p.Info, call); callee != nil && !seen[callee] {
+						seen[callee] = true
+						node.callees = append(node.callees, callee)
+					}
+					return true
+				})
+				g.nodes[fn] = node
+			}
+		}
+	}
+	return g
+}
+
+// staticCallee resolves the target of a call expression to a function
+// object, or nil for calls through function values, conversions, and
+// builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok { // generic instantiation f[T](...)
+		fun = ast.Unparen(ix.X)
+	}
+	if ix, ok := fun.(*ast.IndexListExpr); ok {
+		fun = ast.Unparen(ix.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		} else if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn // package-qualified call
+		}
+	}
+	return nil
+}
+
+// Reaches reports whether any static call path out of fn hits a function
+// matching sink. fn itself is not tested; module functions expand through
+// their bodies, everything else is a leaf.
+func (g *CallGraph) Reaches(fn *types.Func, sink func(*types.Func) bool) bool {
+	visited := map[*types.Func]bool{fn: true}
+	work := []*types.Func{fn}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		node := g.nodes[cur]
+		if node == nil {
+			continue
+		}
+		for _, callee := range node.callees {
+			if sink(callee) {
+				return true
+			}
+			if !visited[callee] {
+				visited[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+	return false
+}
+
+// pkgPathHasSuffix reports whether a package path ends in suffix at a
+// path-element boundary, so "internal/core" matches both the real package
+// and the fixture packages under testdata/src.
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// funcIs matches a function object against a package-path suffix, a
+// receiver type name ("" for plain functions; pointer receivers are
+// dereferenced), and a function name.
+func funcIs(fn *types.Func, suffix, recv, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || !pkgPathHasSuffix(fn.Pkg().Path(), suffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	r := sig.Recv()
+	if recv == "" {
+		return r == nil
+	}
+	return r != nil && recvTypeName(r.Type()) == recv
+}
+
+// recvTypeName returns the named type behind a (possibly pointer)
+// receiver type, or "".
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Costcharge proves cost-model coverage statically: every exported
+// operation of the collector packages (internal/core, internal/rt) that
+// touches simulated heap state — transitively reaching the mem primitives
+// that read, write, allocate, or reshape storage — must also transitively
+// reach a costmodel charge ((*Meter).Charge / ChargeN), or carry a
+// justified //gc:nocharge annotation. An operation that moves simulated
+// memory without charging cycles silently skews every reported table.
+//
+// This is the static dual of trace Reconcile: Reconcile proves the
+// charges that happened tile the phase spans exactly; costcharge proves
+// no exported mutator/collector entry point can touch state without
+// charging at all. Accessors that only inspect geometry (Contains, Used,
+// Stats, ...) never reach the primitives and pass untouched.
+//
+// //gc:nocharge is honored in internal/core and internal/rt only —
+// outside the collector packages the annotation itself is a finding.
+var Costcharge = &Analyzer{
+	Name:      "costcharge",
+	Doc:       "proves exported collector operations that touch heap state reach a costmodel charge",
+	RunModule: runCostcharge,
+}
+
+// heapStateMethods lists the mem methods that constitute "touching
+// simulated heap state": word access plus space allocation/reshaping.
+// A flat list, not a map — maporder flagged the obvious map version of
+// this table (the analyzer suite runs over its own package too).
+var heapStateMethods = []struct{ recv, name string }{
+	{"Heap", "Load"}, {"Heap", "Store"}, {"Heap", "Copy"}, {"Heap", "Words"},
+	{"Heap", "AddSpace"}, {"Heap", "ReplaceSpace"}, {"Heap", "GrowSpace"}, {"Heap", "FreeSpace"},
+	{"Space", "Alloc"}, {"Space", "AllocUnzeroed"}, {"Space", "Reset"},
+}
+
+// isHeapState matches the mem primitives that touch simulated heap state.
+func isHeapState(fn *types.Func) bool {
+	for _, m := range heapStateMethods {
+		if funcIs(fn, "internal/mem", m.recv, m.name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCharge matches the cost-meter charge entry points.
+func isCharge(fn *types.Func) bool {
+	return funcIs(fn, "internal/costmodel", "Meter", "Charge") ||
+		funcIs(fn, "internal/costmodel", "Meter", "ChargeN")
+}
+
+// inChargeScope reports whether costcharge analyzes (and honors
+// //gc:nocharge in) the package.
+func inChargeScope(path string) bool {
+	return pkgPathHasSuffix(path, "internal/core") || pkgPathHasSuffix(path, "internal/rt")
+}
+
+func runCostcharge(pass *Pass) {
+	g := pass.CallGraph()
+	annos := pass.Annotations("nocharge")
+	for _, p := range pass.Targets {
+		if !inChargeScope(p.Path) {
+			// An annotation outside the collector packages excuses nothing.
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+					if a := annos[fn]; fn != nil && a != nil && a.Reason != "" {
+						pass.Reportf(fd.Pos(), "//gc:nocharge outside internal/core and internal/rt: the uncharged-operation allowlist is confined to the collector packages")
+					}
+				}
+			}
+			continue
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				checkChargeFunc(pass, g, fd, fn, annos[fn])
+			}
+		}
+	}
+}
+
+// checkChargeFunc applies the charge-coverage rule to one exported
+// operation.
+func checkChargeFunc(pass *Pass, g *CallGraph, fd *ast.FuncDecl, fn *types.Func, anno *Annotation) {
+	if !exportedOperation(fd) {
+		if anno != nil && anno.Reason != "" {
+			pass.Reportf(fd.Pos(), "stale //gc:nocharge: %s is not an exported operation", fn.Name())
+		}
+		return
+	}
+	switch {
+	case !g.Reaches(fn, isHeapState):
+		if anno != nil && anno.Reason != "" {
+			pass.Reportf(fd.Pos(), "stale //gc:nocharge: %s touches no simulated heap state", fn.Name())
+		}
+	case g.Reaches(fn, isCharge):
+		if anno != nil && anno.Reason != "" {
+			pass.Reportf(fd.Pos(), "stale //gc:nocharge: %s already reaches a costmodel charge", fn.Name())
+		}
+	case anno != nil && anno.Reason != "":
+		anno.MarkUsed()
+	default:
+		pass.Reportf(fd.Pos(), "exported operation %s touches simulated heap state but never reaches a costmodel charge; deliberate free operations need //gc:nocharge <why>", fn.Name())
+	}
+}
+
+// exportedOperation reports whether the declaration is an exported
+// function or an exported method on an exported receiver type.
+func exportedOperation(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(recvDeclTypeName(fd.Recv.List[0].Type))
+}
+
+// recvDeclTypeName extracts the receiver type name from its declaration
+// syntax (dereferencing pointers and generic instantiations).
+func recvDeclTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -7,24 +7,40 @@
 // packages are type-checked here, and standard-library imports are
 // resolved through the stdlib source importer.
 //
-// The analyzers encode this repository's determinism contract (see
-// DESIGN.md): every rendered table must be bit-for-bit reproducible, so
-// map iteration order, wall-clock reads, scheduler-dependent values, and
-// silently-ignored configuration are all bug classes worth catching
-// mechanically — each has already produced a real bug here (the
-// CardTable.Cards() map-order scan, the unread PretenureCutoff field).
+// The analyzers encode this repository's determinism and GC-invariant
+// contracts (see DESIGN.md): every rendered table must be bit-for-bit
+// reproducible, every pointer store into heap storage must pass through
+// the write barrier, every simulated operation must be charged to the
+// cost meter, and raw-word access is confined to the kernel seam. Each
+// rule has a runtime counterpart (the sanitizer, trace Reconcile, the
+// run-twice oracle); the analyzers prove the same invariants over all
+// code paths instead of the executed one.
 //
 // Findings can be suppressed with an inline comment on the same line or
 // the line above, naming the analyzer and justifying the suppression:
 //
 //	//lint:ignore maporder accumulation is commutative integer addition
+//
+// A suppression that no longer suppresses anything is itself reported
+// (stale allowlists rot silently otherwise). Collector-internal code can
+// opt whole functions out of barriercheck / costcharge with a justified
+// function annotation in the doc comment:
+//
+//	//gc:nobarrier to-space is fully scanned before the mutator resumes
+//	//gc:nocharge construction happens outside the measured run
+//
+// Both annotations are honored only inside the collector packages (see
+// the analyzer docs); elsewhere the annotation itself is a finding.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one static check. Exactly one of Run (invoked once per
@@ -49,7 +65,40 @@ type Pass struct {
 	All      []*Package
 	Targets  []*Package // the packages named by the load patterns
 
-	diags *[]Diagnostic
+	shared *sharedFacts
+	diags  *[]Diagnostic
+}
+
+// sharedFacts caches analysis state that is expensive to build and
+// identical for every analyzer in one Analyze call: the module call graph
+// and the //gc: function annotations. Each is built at most once per load
+// no matter how many analyzers ask for it.
+type sharedFacts struct {
+	pkgs    []*Package
+	cgOnce  sync.Once
+	cg      *CallGraph
+	annOnce sync.Once
+	annos   []*Annotation
+}
+
+// CallGraph returns the static call graph over every loaded module
+// package, built once per Analyze call and shared across analyzers.
+func (p *Pass) CallGraph() *CallGraph {
+	p.shared.cgOnce.Do(func() { p.shared.cg = buildCallGraph(p.shared.pkgs) })
+	return p.shared.cg
+}
+
+// Annotations returns every //gc:<kind> function annotation in the loaded
+// packages (collected once per Analyze call), keyed by annotated function.
+func (p *Pass) Annotations(kind string) map[*types.Func]*Annotation {
+	p.shared.annOnce.Do(func() { p.shared.annos = collectAnnotations(p.shared.pkgs) })
+	out := make(map[*types.Func]*Annotation)
+	for _, a := range p.shared.annos {
+		if a.Kind == kind {
+			out[a.Fn] = a
+		}
+	}
+	return out
 }
 
 // Reportf records a diagnostic at pos.
@@ -81,17 +130,109 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
 }
 
-// Default returns the analyzers gclint runs.
+// Suppression is one active suppression — a //lint:ignore comment or a
+// //gc: function annotation — reported by `gclint -ignores` so allowlists
+// stay auditable.
+type Suppression struct {
+	Pos      token.Position
+	Kind     string // "lint:ignore", "gc:nobarrier", or "gc:nocharge"
+	Analyzer string // the analyzer it suppresses
+	Reason   string
+	Used     bool // suppressed at least one finding this run
+}
+
+// String renders the suppression for the -ignores report.
+func (s Suppression) String() string {
+	state := "unused"
+	if s.Used {
+		state = "used"
+	}
+	return fmt.Sprintf("%s: [%s] %s: %s (%s)", s.Pos, s.Kind, s.Analyzer, s.Reason, state)
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	Diagnostics  []Diagnostic
+	Suppressions []Suppression // every active suppression in the targets, sorted by position
+}
+
+// Annotation is one //gc:<kind> function annotation, parsed from the
+// function's doc comment. Analyzers that honor a kind mark the annotation
+// used; an annotation that excuses nothing is reported as stale by its
+// owning analyzer.
+type Annotation struct {
+	Kind   string // "nobarrier" or "nocharge"
+	Reason string
+	Fn     *types.Func
+	Decl   *ast.FuncDecl
+	Pkg    *Package
+	Pos    token.Pos // the annotation comment
+
+	used bool
+}
+
+// MarkUsed records that the annotation suppressed a finding.
+func (a *Annotation) MarkUsed() { a.used = true }
+
+// annotationKinds are the recognized //gc: annotation kinds; anything
+// else after //gc: is reported as malformed so typos cannot silently
+// disable a check.
+var annotationKinds = map[string]bool{"nobarrier": true, "nocharge": true}
+
+// collectAnnotations parses //gc:<kind> <reason> annotations out of
+// function doc comments across all loaded packages.
+func collectAnnotations(pkgs []*Package) []*Annotation {
+	var out []*Annotation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					text, ok := strings.CutPrefix(c.Text, "//gc:")
+					if !ok {
+						continue
+					}
+					kind, reason, _ := strings.Cut(text, " ")
+					fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+					if fn == nil {
+						continue
+					}
+					out = append(out, &Annotation{
+						Kind:   kind,
+						Reason: strings.TrimSpace(reason),
+						Fn:     fn,
+						Decl:   fd,
+						Pkg:    p,
+						Pos:    c.Pos(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Default returns the analyzers gclint runs: the three determinism
+// analyzers from v1 plus the four whole-module GC-invariant analyzers.
 func Default() []*Analyzer {
-	return []*Analyzer{Maporder, Detrand, Cfgread}
+	return []*Analyzer{Maporder, Detrand, Cfgread, Barriercheck, Costcharge, Seamcheck, Detflow}
+}
+
+// FencePackages returns the package-path suffixes inside the determinism
+// fence (shared by detrand and detflow), for scope-audit tests.
+func FencePackages() []string {
+	return append([]string(nil), detPackages...)
 }
 
 // Run loads the packages matching patterns (resolved relative to dir, a
-// directory inside the module) and applies the analyzers to them,
-// returning surviving diagnostics sorted by position. //lint:ignore
-// comments suppress matching diagnostics; a suppression that names no
-// analyzer or gives no justification is itself reported.
-func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// directory inside the module) and applies the analyzers to them. Each
+// package is parsed and type-checked exactly once no matter how many
+// analyzers run; module-level facts (call graph, annotations) are also
+// built once and shared.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -99,26 +240,39 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	return Analyze(pkgs, analyzers), nil
 }
 
-// Analyze applies the analyzers to already-loaded packages.
-func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+// Analyze applies the analyzers to already-loaded packages, returning
+// surviving diagnostics sorted by position plus the suppression
+// inventory. //lint:ignore comments suppress matching diagnostics; a
+// suppression that names no analyzer, gives no justification, or
+// suppresses nothing is itself reported.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) *Result {
 	var targets []*Package
 	for _, p := range pkgs {
 		if p.Target {
 			targets = append(targets, p)
 		}
 	}
+	shared := &sharedFacts{pkgs: pkgs}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		switch {
 		case a.Run != nil:
 			for _, p := range targets {
-				a.Run(&Pass{Analyzer: a, Pkg: p, All: pkgs, Targets: targets, diags: &diags})
+				a.Run(&Pass{Analyzer: a, Pkg: p, All: pkgs, Targets: targets, shared: shared, diags: &diags})
 			}
 		case a.RunModule != nil:
-			a.RunModule(&Pass{Analyzer: a, All: pkgs, Targets: targets, diags: &diags})
+			a.RunModule(&Pass{Analyzer: a, All: pkgs, Targets: targets, shared: shared, diags: &diags})
 		}
 	}
-	diags = applyIgnores(targets, analyzers, diags)
+	diags = reportMalformedAnnotations(shared, targets, diags)
+	diags, ignores := applyIgnores(targets, analyzers, diags)
+	suppressions := collectSuppressions(shared, targets, ignores)
+	sortDiagnostics(diags)
+	return &Result{Diagnostics: diags, Suppressions: suppressions}
+}
+
+// sortDiagnostics orders diagnostics by filename, line, column, analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -132,25 +286,51 @@ func Analyze(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// reportMalformedAnnotations flags //gc: annotations with an unknown kind
+// or a missing justification, in target packages. (Scope rules — where a
+// well-formed annotation is honored — belong to the owning analyzers.)
+func reportMalformedAnnotations(shared *sharedFacts, targets []*Package, diags []Diagnostic) []Diagnostic {
+	shared.annOnce.Do(func() { shared.annos = collectAnnotations(shared.pkgs) })
+	inTargets := make(map[*Package]bool, len(targets))
+	for _, p := range targets {
+		inTargets[p] = true
+	}
+	for _, a := range shared.annos {
+		if !inTargets[a.Pkg] {
+			continue
+		}
+		if !annotationKinds[a.Kind] || a.Reason == "" {
+			diags = append(diags, Diagnostic{
+				Pos:      a.Pkg.Fset.Position(a.Pos),
+				Analyzer: "lint",
+				Message:  "malformed //gc: annotation: want \"//gc:nobarrier <justification>\" or \"//gc:nocharge <justification>\"",
+			})
+		}
+	}
 	return diags
 }
 
-// ignoreKey locates a suppressible diagnostic.
-type ignoreKey struct {
-	file     string
-	line     int
+// ignoreDirective is one well-formed //lint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Position
+	endLine  int // last source line the suppression covers
 	analyzer string
+	reason   string
+	used     bool
 }
 
 // applyIgnores drops diagnostics covered by a well-formed //lint:ignore
-// comment on the same line or the line immediately above, and reports
-// malformed suppressions.
-func applyIgnores(targets []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+// comment on the same line or the line immediately above, reports
+// malformed suppressions, and reports well-formed suppressions that
+// suppressed nothing (stale allowlist entries).
+func applyIgnores(targets []*Package, analyzers []*Analyzer, diags []Diagnostic) ([]Diagnostic, []*ignoreDirective) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	ignores := make(map[ignoreKey]bool)
+	var directives []*ignoreDirective
 	for _, p := range targets {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
@@ -167,19 +347,67 @@ func applyIgnores(targets []*Package, analyzers []*Analyzer, diags []Diagnostic)
 						continue
 					}
 					end := p.Fset.Position(c.End())
-					for line := pos.Line; line <= end.Line+1; line++ {
-						ignores[ignoreKey{pos.Filename, line, name}] = true
-					}
+					directives = append(directives, &ignoreDirective{
+						pos: pos, endLine: end.Line + 1, analyzer: name, reason: strings.TrimSpace(reason),
+					})
 				}
 			}
 		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.analyzer == d.Analyzer && dir.pos.Filename == d.Pos.Filename &&
+				d.Pos.Line >= dir.pos.Line && d.Pos.Line <= dir.endLine {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			kept = append(kept, Diagnostic{Pos: dir.pos, Analyzer: "lint",
+				Message: fmt.Sprintf("stale //lint:ignore: no %s finding here to suppress", dir.analyzer)})
+		}
+	}
+	return kept, directives
+}
+
+// collectSuppressions assembles the suppression inventory for the
+// -ignores report: every well-formed //lint:ignore directive and every
+// //gc: annotation in the target packages, sorted by position.
+func collectSuppressions(shared *sharedFacts, targets []*Package, ignores []*ignoreDirective) []Suppression {
+	var out []Suppression
+	for _, dir := range ignores {
+		out = append(out, Suppression{
+			Pos: dir.pos, Kind: "lint:ignore", Analyzer: dir.analyzer,
+			Reason: dir.reason, Used: dir.used,
+		})
+	}
+	inTargets := make(map[*Package]bool, len(targets))
+	for _, p := range targets {
+		inTargets[p] = true
+	}
+	owner := map[string]string{"nobarrier": "barriercheck", "nocharge": "costcharge"}
+	for _, a := range shared.annos {
+		if !inTargets[a.Pkg] || !annotationKinds[a.Kind] || a.Reason == "" {
 			continue
 		}
-		kept = append(kept, d)
+		out = append(out, Suppression{
+			Pos: a.Pkg.Fset.Position(a.Pos), Kind: "gc:" + a.Kind, Analyzer: owner[a.Kind],
+			Reason: a.Reason, Used: a.used,
+		})
 	}
-	return kept
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }

@@ -8,3 +8,6 @@ func Unknown() {}
 
 //lint:ignore maporder
 func Unjustified() {}
+
+//lint:ignore maporder nothing in reach ranges over a map // want: stale //lint:ignore
+func Stale() {}

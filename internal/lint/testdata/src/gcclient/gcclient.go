@@ -1,0 +1,38 @@
+// Package gcclient is a gclint fixture for the annotation confinement
+// rules: it is outside internal/core and internal/rt, so //gc:nobarrier
+// and //gc:nocharge excuse nothing here — the annotations themselves are
+// findings.
+package gcclient
+
+import (
+	"tilgc/internal/lint/testdata/src/internal/mem"
+	"tilgc/internal/lint/testdata/src/internal/rt"
+)
+
+// sneaky claims a kernel exemption from mutator-side code: the
+// annotation is confined to internal/core and is reported instead of
+// honored.
+//
+//gc:nobarrier mutator code may not claim a kernel exemption
+func sneaky(h *mem.Heap, a mem.Addr) { // want: //gc:nobarrier outside internal/core
+	h.Store(a, 1)
+}
+
+// rawStore is a plain unbarriered store outside the collector.
+func rawStore(h *mem.Heap, a mem.Addr) {
+	h.Store(a, 2) // want: raw heap store in rawStore
+}
+
+// Setup claims an uncharged-operation exemption outside the collector
+// packages: reported, not honored.
+//
+//gc:nocharge setup code may not claim the collector exemption
+func Setup(h *mem.Heap) { // want: //gc:nocharge outside internal/core and internal/rt
+	h.AddSpace(64)
+}
+
+// barriered records its store: clean anywhere.
+func barriered(h *mem.Heap, s *rt.SSB, a mem.Addr, v uint64) {
+	h.Store(a, v)
+	s.Record(a)
+}

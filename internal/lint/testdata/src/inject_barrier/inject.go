@@ -1,0 +1,11 @@
+// Package injectbarrier is a broken-injection fixture: it contains
+// exactly one defect, an unbarriered heap store, and the injection test
+// asserts that barriercheck — and only barriercheck — fires on it.
+package injectbarrier
+
+import "tilgc/internal/lint/testdata/src/internal/mem"
+
+// Clobber writes a pointer word with no barrier in reach.
+func Clobber(h *mem.Heap, a mem.Addr, v uint64) {
+	h.Store(a, v)
+}

@@ -1,0 +1,15 @@
+// Package core is a broken-injection fixture on a collector-suffixed
+// import path: it contains exactly one defect, an exported operation that
+// reshapes heap state without charging, and the injection test asserts
+// that costcharge — and only costcharge — fires on it.
+package core
+
+import "tilgc/internal/lint/testdata/src/internal/mem"
+
+// Pool is an exported type so Grab counts as an exported operation.
+type Pool struct{ heap *mem.Heap }
+
+// Grab grows the heap without ever reaching a costmodel charge.
+func (p *Pool) Grab(n uint64) {
+	p.heap.AddSpace(n)
+}

@@ -1,0 +1,16 @@
+// Package injectdetflow is a broken-injection fixture: it contains
+// exactly one defect, a wall-clock read crossing the determinism fence,
+// and the injection test asserts that detflow — and only detflow — fires
+// on it.
+package injectdetflow
+
+import (
+	"time"
+
+	"tilgc/internal/lint/testdata/src/internal/trace"
+)
+
+// Leak stamps a trace sample from the host clock.
+func Leak() {
+	trace.Emit(uint64(time.Now().UnixNano()))
+}

@@ -1,0 +1,12 @@
+// Package core is a broken-injection fixture on a collector-suffixed
+// import path: it contains exactly one defect, unchecked Addr arithmetic
+// outside a kernels*.go file, and the injection test asserts that
+// seamcheck — and only seamcheck — fires on it.
+package core
+
+import "tilgc/internal/lint/testdata/src/internal/mem"
+
+// shift bumps an address without the checked Add.
+func shift(a mem.Addr) mem.Addr {
+	return a + 1
+}

@@ -1,0 +1,83 @@
+// gc.go exercises barriercheck and costcharge inside the collector
+// package (this fixture's import path ends in internal/core, so both the
+// //gc:nobarrier and //gc:nocharge allowlists are honored here).
+// Barrier cases use unexported functions so costcharge (which only
+// examines exported operations) stays out of the way, and costcharge
+// cases use Load/AddSpace (which are not barrier store sinks).
+
+package core
+
+import (
+	"tilgc/internal/lint/testdata/src/internal/costmodel"
+	"tilgc/internal/lint/testdata/src/internal/mem"
+	"tilgc/internal/lint/testdata/src/internal/rt"
+)
+
+// rawInit stores a word with no barrier anywhere in reach.
+func rawInit(h *mem.Heap, a mem.Addr) {
+	h.Store(a, 1) // want: raw heap store in rawInit
+}
+
+// barrieredStore records the stored-to location in the SSB: clean.
+func barrieredStore(h *mem.Heap, s *rt.SSB, a mem.Addr, v uint64) {
+	h.Store(a, v)
+	s.Record(a)
+}
+
+// storeThroughHelper reaches the barrier through a helper call: clean.
+func storeThroughHelper(h *mem.Heap, s *rt.SSB, a mem.Addr) {
+	h.Store(a, 7)
+	noteBarrier(s, a)
+}
+
+func noteBarrier(s *rt.SSB, a mem.Addr) { s.Record(a) }
+
+// fixtureEvacuate is an annotated copy kernel: the justified annotation
+// suppresses the finding and is counted as used.
+//
+//gc:nobarrier fixture copy kernel: the destination span is scanned in full before the mutator resumes
+func fixtureEvacuate(h *mem.Heap, dst, src mem.Addr) {
+	h.Copy(dst, src, 4)
+}
+
+// tidy no longer stores anything; its leftover annotation is stale.
+//
+//gc:nobarrier leftover justification from a deleted store
+func tidy() {} // want: stale //gc:nobarrier
+
+// Collector is an exported collector type for the costcharge cases.
+type Collector struct {
+	heap  *mem.Heap
+	meter *costmodel.Meter
+}
+
+// Peek reads simulated heap state without charging anything.
+func (c *Collector) Peek(a mem.Addr) uint64 { // want: exported operation Peek touches simulated heap state
+	return c.heap.Load(a)
+}
+
+// Load charges the mutator before touching state: clean.
+func (c *Collector) Load(a mem.Addr) uint64 {
+	c.meter.Charge(costmodel.Client, costmodel.MutatorLoad)
+	return c.heap.Load(a)
+}
+
+// Grow is a deliberate free operation: the justified annotation
+// suppresses the finding and is counted as used.
+//
+//gc:nocharge fixture setup path: arena growth happens outside the measured run
+func (c *Collector) Grow(n uint64) {
+	c.heap.AddSpace(n)
+}
+
+// Shrink charges for its work; its leftover annotation is stale.
+//
+//gc:nocharge leftover justification from an uncharged past
+func (c *Collector) Shrink(n uint64) { // want: stale //gc:nocharge
+	c.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, n)
+	c.heap.AddSpace(n)
+}
+
+// NumSpaces inspects geometry only and never reaches a state primitive:
+// clean without any annotation.
+func (c *Collector) NumSpaces() int { return 0 }

@@ -1,0 +1,22 @@
+// kernels_fixture.go matches the kernels*.go seam pattern: the same raw
+// accesses that policy.go gets flagged for are clean here. Space.Raw is
+// still a barriercheck store sink, so the kernel carries the same
+// justified //gc:nobarrier a real kernel would.
+
+package core
+
+import (
+	"tilgc/internal/lint/testdata/src/internal/mem"
+	"tilgc/internal/lint/testdata/src/internal/obj"
+)
+
+// kernelScan reads headers through the raw arena window with unchecked
+// address math — the whole point of the kernel seam.
+//
+//gc:nobarrier fixture scan kernel: the raw window belongs to a space the scan itself owns
+func kernelScan(s *mem.Space, base mem.Addr) uint64 {
+	words := s.Raw()
+	next := base + 1
+	_ = next
+	return obj.HeaderLen(words[0])
+}

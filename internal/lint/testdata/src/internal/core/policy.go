@@ -1,0 +1,42 @@
+// policy.go exercises seamcheck: this file does not match kernels*.go,
+// so raw-word access here is outside the kernel seam and must be
+// reported. peekRaw carries //gc:nobarrier because Space.Raw is also a
+// barriercheck store sink — the annotation isolates the seamcheck
+// finding under test.
+
+package core
+
+import (
+	"tilgc/internal/lint/testdata/src/internal/mem"
+	"tilgc/internal/lint/testdata/src/internal/obj"
+)
+
+// inspectHeader decodes a header word with a raw codec in policy code.
+func inspectHeader(h *mem.Heap, a mem.Addr) uint64 {
+	w := h.Load(a)
+	return obj.HeaderLen(w) // want: raw header codec obj.HeaderLen
+}
+
+// peekRaw takes a raw arena window in policy code.
+//
+//gc:nobarrier fixture isolates the seamcheck finding; the raw window is read-only here
+func peekRaw(s *mem.Space) uint64 {
+	words := s.Raw() // want: Space.Raw outside the kernel seam
+	return words[0]
+}
+
+// bumpAddr computes an address without the checked Add.
+func bumpAddr(a mem.Addr) mem.Addr {
+	return a + 8 // want: unchecked Addr arithmetic
+}
+
+// checkedAdd stays on the checked interface: clean.
+func checkedAdd(a mem.Addr) mem.Addr {
+	return a.Add(8)
+}
+
+// quietArith carries a justified suppression: no surviving diagnostic.
+func quietArith(a mem.Addr) mem.Addr {
+	//lint:ignore seamcheck fixture exercising justified suppression
+	return a * 2
+}

@@ -1,0 +1,35 @@
+// Package costmodel is a gclint fixture stand-in for the real
+// internal/costmodel: costcharge matches (*Meter).Charge and ChargeN by
+// package-path suffix, receiver, and name.
+package costmodel
+
+// Component attributes charged cycles to an accounting bucket.
+type Component int
+
+// Fixture accounting buckets.
+const (
+	Client Component = iota
+	GCCopy
+)
+
+// Op is one charged operation kind.
+type Op int
+
+// Fixture operation kinds.
+const (
+	MutatorLoad Op = iota
+	MutatorStore
+	ScanWord
+)
+
+// Meter accumulates simulated cycles.
+type Meter struct{ cycles uint64 }
+
+// Charge adds one operation's cycles.
+func (m *Meter) Charge(c Component, op Op) { m.cycles++ }
+
+// ChargeN adds n operations' cycles in one call.
+func (m *Meter) ChargeN(c Component, op Op, n uint64) { m.cycles += n }
+
+// Cycles returns the accumulated total.
+func (m *Meter) Cycles() uint64 { return m.cycles }

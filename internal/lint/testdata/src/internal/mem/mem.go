@@ -1,0 +1,89 @@
+// Package mem is a gclint fixture stand-in for the real internal/mem.
+// The analyzers match the heap primitives by package-path suffix,
+// receiver, and method name, so this package only needs the same shapes:
+// Addr with checked Add, Space with Alloc/Raw, Heap with the word-access
+// and space-reshaping methods. Its import path ends in internal/mem,
+// which also exempts it from barriercheck (the primitive layer defines
+// the store operations) and keeps it inside the determinism fence.
+package mem
+
+// SpaceID identifies one arena.
+type SpaceID uint32
+
+// Addr is a simulated heap address: space id in the high bits, word
+// offset in the low bits.
+type Addr uint64
+
+const offBits = 40
+
+// MakeAddr builds an address from a space id and word offset.
+func MakeAddr(s SpaceID, off uint64) Addr { return Addr(uint64(s)<<offBits | off) }
+
+// Add is the checked address bump (the fixture version skips the
+// overflow check; only the shape matters to the analyzers).
+func (a Addr) Add(n uint64) Addr { return Addr(uint64(a) + n) }
+
+// IsNil reports whether the address is the nil sentinel.
+func (a Addr) IsNil() bool { return a == 0 }
+
+// Space returns the arena id.
+func (a Addr) Space() SpaceID { return SpaceID(uint64(a) >> offBits) }
+
+// Offset returns the word offset inside the arena.
+func (a Addr) Offset() uint64 { return uint64(a) & (1<<offBits - 1) }
+
+// Space is one contiguous word arena.
+type Space struct {
+	id    SpaceID
+	words []uint64
+	used  uint64
+}
+
+// ID returns the arena id.
+func (s *Space) ID() SpaceID { return s.id }
+
+// Raw exposes the arena's backing words (kernel-seam access).
+func (s *Space) Raw() []uint64 { return s.words }
+
+// Alloc bumps the allocation pointer by n words.
+func (s *Space) Alloc(n uint64) (uint64, bool) {
+	if s.used+n > uint64(len(s.words)) {
+		return 0, false
+	}
+	off := s.used
+	s.used += n
+	return off, true
+}
+
+// Reset empties the arena.
+func (s *Space) Reset() { s.used = 0 }
+
+// Heap is a set of arenas addressed by Addr.
+type Heap struct {
+	spaces []*Space
+}
+
+// NewHeap creates an empty heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// AddSpace creates a new arena of capWords words.
+func (h *Heap) AddSpace(capWords uint64) *Space {
+	s := &Space{id: SpaceID(len(h.spaces) + 1), words: make([]uint64, capWords)}
+	h.spaces = append(h.spaces, s)
+	return s
+}
+
+func (h *Heap) space(id SpaceID) *Space { return h.spaces[int(id)-1] }
+
+// Load reads the word at a.
+func (h *Heap) Load(a Addr) uint64 { return h.space(a.Space()).words[a.Offset()] }
+
+// Store writes the word at a.
+func (h *Heap) Store(a Addr, v uint64) { h.space(a.Space()).words[a.Offset()] = v }
+
+// Copy moves n words from src to dst.
+func (h *Heap) Copy(dst, src Addr, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		h.Store(dst.Add(i), h.Load(src.Add(i)))
+	}
+}

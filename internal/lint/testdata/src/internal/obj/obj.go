@@ -1,0 +1,33 @@
+// Package obj is a gclint fixture stand-in for the real internal/obj:
+// the raw header codecs and the field/forwarding store helpers the
+// analyzers match by name. Like the real package, it is exempt from
+// barriercheck (it defines the store primitives) and its codecs are what
+// seamcheck confines to kernels*.go files elsewhere.
+package obj
+
+import "tilgc/internal/lint/testdata/src/internal/mem"
+
+const headerWords = 1
+
+// PackHeader encodes a kind and length into a header word.
+func PackHeader(kind, length uint64) uint64 { return kind<<56 | length }
+
+// PackForward encodes a forwarding pointer into a header word.
+func PackForward(to mem.Addr) uint64 { return uint64(to) | 1<<63 }
+
+// HeaderKind decodes the kind bits of a header word.
+func HeaderKind(w uint64) uint64 { return w >> 56 }
+
+// HeaderLen decodes the length bits of a header word.
+func HeaderLen(w uint64) uint64 { return w & (1<<56 - 1) }
+
+// ForwardAddr decodes the target of a forwarding header word.
+func ForwardAddr(w uint64) mem.Addr { return mem.Addr(w &^ (1 << 63)) }
+
+// SetField writes field i of the object at a.
+func SetField(h *mem.Heap, a mem.Addr, i uint64, v uint64) {
+	h.Store(a.Add(headerWords+i), v)
+}
+
+// SetForward installs a forwarding pointer in the object's header.
+func SetForward(h *mem.Heap, a, to mem.Addr) { h.Store(a, PackForward(to)) }

@@ -1,0 +1,30 @@
+// Package rt is a gclint fixture stand-in for the real internal/rt:
+// barriercheck matches (*SSB).Record and (*CardTable).Record as the
+// write-barrier entry points by package-path suffix, receiver, and name.
+package rt
+
+import "tilgc/internal/lint/testdata/src/internal/mem"
+
+// SSB is a sequential store buffer recording barriered store locations.
+type SSB struct{ buf []mem.Addr }
+
+// Record notes a pointer store at field address a.
+func (s *SSB) Record(a mem.Addr) { s.buf = append(s.buf, a) }
+
+// Drain returns and clears the recorded addresses.
+func (s *SSB) Drain() []mem.Addr {
+	out := s.buf
+	s.buf = nil
+	return out
+}
+
+// CardTable is a card-marking remembered set.
+type CardTable struct{ cards []byte }
+
+// Record marks the card covering field address a.
+func (c *CardTable) Record(a mem.Addr) {
+	i := int(a.Offset() / 512)
+	if i < len(c.cards) {
+		c.cards[i] = 1
+	}
+}

@@ -35,6 +35,13 @@ func Shards() int {
 	return runtime.NumCPU() // want: runtime.NumCPU
 }
 
+// Emit records one cycle-stamped sample (a detflow fence sink: this
+// package's import path ends in internal/trace).
+func Emit(at uint64) { _ = at }
+
+// Record appends a completed event (a detflow fence sink).
+func Record(e Event) { _ = e }
+
 // Bucket is clean: pure arithmetic on recorded cycles is deterministic.
 func Bucket(cycles uint64) int {
 	b := 0
