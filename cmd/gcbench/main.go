@@ -10,8 +10,10 @@
 //	gcbench -table 5 -trace t.json -trace-format chrome  # Perfetto trace
 //	gcbench -table 5 -metrics      # per-run metrics table after the sweep
 //	gcbench -figure 2              # Figure 2 heap profiles
+//	gcbench -table 5 -trace t.jsonl -trace-heap  # ...plus per-space occupancy
 //	gcbench -experiment elide      # §7.2 scan-elision extension
 //	gcbench -experiment adapt      # §9 online adaptive pretenuring
+//	gcbench -experiment slo        # latency-SLO table (server traffic mixes)
 //	gcbench -table 4 -adapt                 # attach the online advisor to every gen run
 //	gcbench -table 4 -adapt -adapt-store s.jsonl  # ... and store the learned profiles
 //	gcbench -table 4 -adapt -adapt-warm s.jsonl   # ... warm-started from a stored run
@@ -53,6 +55,8 @@ func main() {
 		"capture a per-run GC trace of every experiment run to FILE (cycle-timestamped, byte-identical under -parallel)")
 	traceFormat := flag.String("trace-format", "jsonl",
 		"trace sink format: jsonl (schema-versioned, gctrace-readable) or chrome (Perfetto-loadable)")
+	traceHeap := flag.Bool("trace-heap", false,
+		"sample per-space heap occupancy (live/committed words) at every collection into the trace")
 	adaptRuns := flag.Bool("adapt", false,
 		"attach the online adaptive-pretenuring advisor to every generational run (semispace runs are unaffected)")
 	adaptStore := flag.String("adapt-store", "",
@@ -116,7 +120,7 @@ func main() {
 		return
 	}
 
-	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns}
+	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns, TraceHeap: *traceHeap}
 	if *progress {
 		opts.Events = progressWriter
 	}

@@ -9,6 +9,12 @@
 //	gctrace check FILE               # parse + validate; exits non-zero on
 //	                                 # schema or reconciliation failure
 //	gctrace convert -to chrome [-o OUT] FILE   # JSONL -> Perfetto JSON
+//	gctrace slo [-windows W,..] [-o OUT] FILE  # SLO report: exact pause and
+//	                                           # request percentiles, MMU/AMU
+//	                                           # curve (-o writes report JSONL)
+//	gctrace mmu [-windows W,..] [-chrome OUT] FILE  # utilization curve table
+//	                                           # (-chrome writes Perfetto
+//	                                           # counter tracks)
 //
 // FILE is a schema-versioned JSONL trace; "-" reads stdin. Chrome-format
 // traces are a write-only sink (load them in Perfetto / chrome://tracing);
@@ -23,7 +29,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
+	"tilgc/internal/slo"
 	"tilgc/internal/trace"
 )
 
@@ -42,6 +51,10 @@ func main() {
 		err = cmdCheck(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
+	case "slo":
+		err = cmdSLO(os.Args[2:])
+	case "mmu":
+		err = cmdMMU(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -62,6 +75,12 @@ func usage() {
   gctrace metrics FILE                       per-run metrics registry dump
   gctrace check FILE                         validate schema + reconciliation
   gctrace convert -to FORMAT [-o OUT] FILE   convert (FORMAT: jsonl, chrome)
+  gctrace slo [-windows W,..] [-o OUT] FILE  SLO report: pause/request
+                                             percentiles + utilization curve
+                                             (-o writes the report as JSONL)
+  gctrace mmu [-windows W,..] [-chrome OUT] FILE
+                                             MMU/AMU curve table (-chrome
+                                             writes Perfetto counter tracks)
 
 FILE is a JSONL trace from 'gcbench -trace'; "-" reads stdin.`)
 }
@@ -128,6 +147,100 @@ func cmdCheck(args []string) error {
 	fmt.Printf("ok: schema %d, %d runs, %d events; spans paired, phase cycles reconcile with meter totals\n",
 		f.Schema, len(f.Runs), events)
 	return nil
+}
+
+// parseWindows parses a comma-separated window sweep in cycles; an empty
+// string selects the default sweep.
+func parseWindows(s string) ([]uint64, error) {
+	if s == "" {
+		return slo.DefaultWindows, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -windows entry %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdSLO(args []string) (err error) {
+	fs := flag.NewFlagSet("gctrace slo", flag.ExitOnError)
+	windows := fs.String("windows", "", "comma-separated window sweep in cycles (default 1000,10000,100000,1000000)")
+	out := fs.String("o", "", "also write the report as schema-versioned JSONL to FILE (\"-\" = stdout instead of the table)")
+	fs.Parse(args)
+	wins, err := parseWindows(*windows)
+	if err != nil {
+		return err
+	}
+	f, err := readFile(fs)
+	if err != nil {
+		return err
+	}
+	rep, err := slo.ComputeFile(f, wins)
+	if err != nil {
+		return err
+	}
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("computed report fails validation: %w", err)
+	}
+	if *out == "-" {
+		return rep.WriteJSONL(os.Stdout)
+	}
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := of.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		if err := rep.WriteJSONL(of); err != nil {
+			return err
+		}
+	}
+	return rep.WriteTable(os.Stdout)
+}
+
+func cmdMMU(args []string) (err error) {
+	fs := flag.NewFlagSet("gctrace mmu", flag.ExitOnError)
+	windows := fs.String("windows", "", "comma-separated window sweep in cycles (default 1000,10000,100000,1000000)")
+	chrome := fs.String("chrome", "", "also write the curves as Perfetto counter tracks to FILE (\"-\" = stdout instead of the table)")
+	fs.Parse(args)
+	wins, err := parseWindows(*windows)
+	if err != nil {
+		return err
+	}
+	f, err := readFile(fs)
+	if err != nil {
+		return err
+	}
+	rep, err := slo.ComputeFile(f, wins)
+	if err != nil {
+		return err
+	}
+	if *chrome == "-" {
+		return rep.WriteChromeCounters(os.Stdout)
+	}
+	if *chrome != "" {
+		of, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := of.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		if err := rep.WriteChromeCounters(of); err != nil {
+			return err
+		}
+	}
+	return rep.WriteMMUTable(os.Stdout)
 }
 
 func cmdConvert(args []string) (err error) {

@@ -314,7 +314,7 @@ const (
 
 // Experiment regenerates one of the paper's tables or figures, writing
 // the rendered result to w. Valid names: "table1" ... "table7",
-// "figure2", "elide", "barrier", "markersweep", "adapt".
+// "figure2", "elide", "barrier", "markersweep", "adapt", "slo".
 func Experiment(w io.Writer, name string, scale Scale) error {
 	return ExperimentOpts(w, name, scale, RunOptions{})
 }
@@ -349,6 +349,8 @@ func ExperimentOpts(w io.Writer, name string, scale Scale, opts RunOptions) erro
 			[]string{"Knuth-Bendix", "Color"}, []int{5, 10, 25, 50, 100}, opts)
 	case "adapt":
 		return harness.ExperimentAdapt(w, scale, opts)
+	case "slo":
+		return harness.ExperimentSLO(w, scale, opts)
 	}
 	return fmt.Errorf("gcsim: unknown experiment %q", name)
 }
@@ -358,7 +360,7 @@ func Experiments() []string {
 	return []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"table7", "figure2", "elide", "barrier", "aging", "markersweep",
-		"adapt",
+		"adapt", "slo",
 	}
 }
 

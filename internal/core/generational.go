@@ -429,6 +429,7 @@ func (c *Generational) minorGC() {
 	// emitted inside this still-open collection span.
 	defer func() {
 		c.recordPause(pauseStart)
+		c.sampleHeap()
 		c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
 	}()
 	c.stats.NumGC++
@@ -755,6 +756,7 @@ func (c *Generational) majorGC() {
 		pauseStart := c.meter.GC()
 		defer func() {
 			c.recordPause(pauseStart)
+			c.sampleHeap()
 			c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
 		}()
 		c.stats.NumGC++

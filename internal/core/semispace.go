@@ -209,6 +209,7 @@ func (c *Semispace) Collect(bool) {
 		if pause > c.stats.MaxPauseCycles {
 			c.stats.MaxPauseCycles = pause
 		}
+		c.sampleHeap()
 		c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
 	}()
 	c.stats.NumGC++

@@ -21,3 +21,35 @@ func gcCounters(before, after *GCStats) trace.GCCounters {
 		Pretenured:    after.Pretenured - before.Pretenured,
 	}
 }
+
+// sampleHeap records the generational heap's end-of-collection footprint:
+// per-space live and committed words. Guarded on HeapSampling so runs
+// that did not opt in (including every untraced run) build nothing —
+// preserving the zero-allocation GC path.
+func (c *Generational) sampleHeap() {
+	if !c.tr.HeapSampling() {
+		return
+	}
+	spaces := make([]trace.SpaceOcc, 0, 4)
+	spaces = append(spaces, trace.SpaceOcc{Name: "nursery", Live: c.nursery.Used(), Committed: c.nursery.Capacity()})
+	if c.aging != nil {
+		spaces = append(spaces, trace.SpaceOcc{Name: "aging", Live: c.aging.Used(), Committed: c.aging.Capacity()})
+	}
+	spaces = append(spaces,
+		trace.SpaceOcc{Name: "tenured", Live: c.ten.Used(), Committed: c.ten.Capacity()},
+		// The LOS commits exactly the words its live objects occupy (one
+		// simulated mapping per object), so live == committed.
+		trace.SpaceOcc{Name: "los", Live: c.los.UsedWords(), Committed: c.los.UsedWords()})
+	c.tr.HeapSample(spaces)
+}
+
+// sampleHeap records the semispace heap's end-of-collection footprint.
+func (c *Semispace) sampleHeap() {
+	if !c.tr.HeapSampling() {
+		return
+	}
+	c.tr.HeapSample([]trace.SpaceOcc{
+		{Name: "semispace", Live: c.cur.Used(), Committed: c.cur.Capacity()},
+		{Name: "los", Live: c.los.UsedWords(), Committed: c.los.UsedWords()},
+	})
+}

@@ -19,6 +19,11 @@ const (
 	// site usage flips mid-run, PhaseShift-style, so warm sites go cold
 	// while cold sites go hot (§9 mistrain demotion).
 	ProfilePhaseFlip
+	// ProfileServer stresses the request-server shape the SLO layer
+	// measures: bursts of allocation with retention stored into the root
+	// tables (sessions that survive), separated by idle work-only gaps —
+	// pauses cluster inside bursts, scratch dies between them.
+	ProfileServer
 	// ProfileMixed draws every op uniformly.
 	ProfileMixed
 
@@ -36,6 +41,8 @@ func (p Profile) String() string {
 		return "los"
 	case ProfilePhaseFlip:
 		return "phase-flip"
+	case ProfileServer:
+		return "server"
 	case ProfileMixed:
 		return "mixed"
 	}
@@ -90,6 +97,17 @@ func Generate(seed uint64) *Program {
 				op.B = uint16(NumSites/2 + op.B%(NumSites-NumSites/2))
 			}
 		}
+		if profile == ProfileServer {
+			// Request cadence: three burst stretches, then an idle gap of
+			// pure mutator work — the server workloads' arrival schedule in
+			// grammar form. Burst ops bias their site to the low half, so
+			// retention concentrates where an advisor would train.
+			if (i/40)%4 == 3 {
+				op.Kind = OpWork
+			} else {
+				op.B = uint16(op.B % (NumSites / 2))
+			}
+		}
 		p.Ops = append(p.Ops, op)
 	}
 	return p
@@ -127,6 +145,13 @@ var profileWeights = [numProfiles][]weighted{
 		{OpStorePtr, 8}, {OpStoreInt, 4}, {OpLoadInt, 4},
 		{OpDrop, 12}, {OpDup, 4}, {OpCollect, 10},
 		{OpCall, 2}, {OpReturn, 2}, {OpWalk, 2}, {OpWork, 2},
+	},
+	ProfileServer: {
+		{OpAllocRecord, 20}, {OpAllocPtrArray, 5},
+		{OpStorePtr, 12}, {OpStoreInt, 4},
+		{OpLoadPtr, 5}, {OpLoadInt, 4},
+		{OpCall, 6}, {OpReturn, 5},
+		{OpDrop, 9}, {OpDup, 3}, {OpCollect, 5}, {OpWalk, 2}, {OpWork, 10},
 	},
 	ProfileMixed: {
 		{OpAllocRecord, 10}, {OpAllocPtrArray, 6}, {OpAllocRawArray, 5},

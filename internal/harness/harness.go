@@ -117,6 +117,11 @@ type RunConfig struct {
 	// RunResult.Trace. Tracing charges nothing to the meter, so a traced
 	// run measures exactly the same simulated times as an untraced one.
 	Trace bool
+	// TraceHeap additionally samples per-space occupancy (live and
+	// committed words for every space) at the end of each collection,
+	// emitted as gated heap records in the trace stream. Implies nothing
+	// without Trace; sampling is guarded so untraced runs allocate nothing.
+	TraceHeap bool
 	// Adapt attaches the online pretenuring advisor (internal/adapt, §9)
 	// to a generational run: per-site survival statistics accumulate
 	// on-line and sites are promoted to (and demoted from) pretenured
@@ -354,6 +359,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Trace {
 		rec = trace.NewRecorder(meter)
 		rec.SetSiteNames(w.Sites())
+		if cfg.TraceHeap {
+			rec.EnableHeapSampling()
+		}
 		stack.SetTracer(rec)
 		profiler.SetDeathSink(func(site obj.SiteID, bytes uint64) {
 			rec.DeadSite(site, bytes/mem.WordSize)
@@ -431,6 +439,11 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}
 
 	m := workload.NewMutator(col, stack, table, meter)
+	// Traced runs record request spans: workloads that bracket work with
+	// Mutator.Request (the server family) feed the internal/slo latency
+	// report. Untraced runs leave Rec nil and Request degrades to a plain
+	// call, so the simulated times are identical either way.
+	m.Rec = rec
 	res := w.Run(m, cfg.Scale)
 	if profiler != nil {
 		profiler.Finalize()

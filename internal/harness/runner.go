@@ -61,6 +61,9 @@ type Options struct {
 	// order, so trace files assembled from the results are byte-identical
 	// at every parallelism level.
 	Trace bool
+	// TraceHeap enables per-space heap-occupancy sampling on every traced
+	// run in the batch (see RunConfig.TraceHeap).
+	TraceHeap bool
 	// TraceSink, when non-nil, implies Trace and receives each batch's
 	// per-run trace data after the batch assembles — in input order,
 	// whatever the parallelism, with failed runs skipped. The experiment
@@ -164,6 +167,9 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 		}
 		if opts.Trace || opts.TraceSink != nil {
 			cfg.Trace = true
+		}
+		if opts.TraceHeap {
+			cfg.TraceHeap = true
 		}
 		if (opts.Adapt || opts.AdaptSink != nil) && cfg.Kind != KindSemispace {
 			cfg.Adapt = true

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tilgc/internal/slo"
+	"tilgc/internal/trace"
+	"tilgc/internal/workload"
+)
+
+// sloGoldenConfig is the fixed request-serving run whose SLO report is
+// pinned: the steady server mix, traced with heap sampling, tight enough
+// to collect while serving.
+func sloGoldenConfig() RunConfig {
+	return RunConfig{
+		Workload:  "ServerSteady",
+		Scale:     workload.Scale{Repeat: 0.004},
+		Kind:      KindGenerational,
+		K:         2,
+		Trace:     true,
+		TraceHeap: true,
+	}
+}
+
+const sloGoldenPath = "testdata/slo_golden.jsonl"
+
+// TestSLOGolden pins the exact JSONL SLO report of one small fixed
+// server run: every percentile, every MMU/AMU sweep point, the worst
+// windows, and the request attribution. Anything that moves a pause or a
+// request boundary — collector changes, cost-model changes, workload
+// schedule changes — fails this test loudly. Refresh intentionally with:
+//
+//	go test ./internal/harness -run TestSLOGolden -update-golden
+func TestSLOGolden(t *testing.T) {
+	cfg := sloGoldenConfig()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := trace.NewFile(r.Trace.Data(cfg.Label()))
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := slo.ComputeFile(f, slo.DefaultWindows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(sloGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(sloGoldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", sloGoldenPath, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(sloGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SLO report differs from %s — latency accounting changed.\n"+
+			"If intentional, refresh with: go test ./internal/harness -run TestSLOGolden -update-golden\n%s",
+			sloGoldenPath, diffHint(want, buf.Bytes()))
+	}
+
+	// The fixture must exercise every report section: collections happened,
+	// requests were recorded, and at least one request absorbed a pause.
+	rr := rep.Runs[0]
+	if rr.Pauses.Count == 0 {
+		t.Fatal("golden server run performed no collections; the fixture is vacuous")
+	}
+	if rr.Requests == nil || rr.Requests.Count == 0 {
+		t.Fatal("golden server run recorded no request spans")
+	}
+	if rr.Requests.GCHit == 0 {
+		t.Error("no request absorbed a pause; the attribution fixture is vacuous")
+	}
+}
+
+// TestSummaryPercentilesGolden pins the exact percentile line WriteSummary
+// prints for the golden trace. Nearest-rank over the 3 recorded pauses:
+// rank ceil(0.5*3) = 2 for p50 and rank 3 for everything above.
+func TestSummaryPercentilesGolden(t *testing.T) {
+	in, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run TestTraceGolden with -update-golden to create it)", err)
+	}
+	defer in.Close()
+	f, err := trace.ReadJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Runs[0].Summarize()
+	pc := s.PauseCycles()
+	if len(pc) != 3 {
+		t.Fatalf("golden trace has %d pauses, the pinned percentiles assume 3", len(pc))
+	}
+	checks := []struct {
+		ppm  uint64
+		want uint64
+	}{
+		{500000, 9604}, {900000, 13255}, {990000, 13255}, {999000, 13255},
+	}
+	for _, c := range checks {
+		got, ok := trace.Percentile(pc, c.ppm)
+		if !ok || got != c.want {
+			t.Errorf("Percentile(%d ppm) = %d, %v; want %d", c.ppm, got, ok, c.want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.WriteSummary(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	const wantLine = "pause percentiles (cycles, exact): p50=9604 p90=13255 p99=13255 p99.9=13255 max=13255"
+	if !strings.Contains(buf.String(), wantLine) {
+		t.Errorf("summary missing exact percentile line %q in:\n%s", wantLine, buf.String())
+	}
+	if !strings.Contains(buf.String(), "pause histogram (cycles, log2 buckets):") {
+		t.Error("summary lost the pause histogram line")
+	}
+}

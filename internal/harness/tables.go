@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tilgc/internal/prof"
+	"tilgc/internal/slo"
 	"tilgc/internal/workload"
 )
 
@@ -483,6 +484,101 @@ func ExperimentAdapt(w io.Writer, scale workload.Scale, opts Options) error {
 		}
 		fmt.Fprintf(w, "%-30s | %8d %8d | %10d %7d %9.3f\n",
 			label, proms, demos, r.Stats.Pretenured, r.Stats.NumMajor, r.GC())
+	}
+	return nil
+}
+
+// SLOMixes lists the server traffic mixes the latency-SLO experiment
+// sweeps: steady traffic, the bursty fan-in adversary, and the
+// cache-churn adversary that mistrains survival profiles.
+var SLOMixes = []string{"ServerSteady", "ServerBurst", "ServerChurn"}
+
+// ExperimentSLO renders the latency-SLO evaluation: each server traffic
+// mix runs under no pretenuring, offline profile-driven pretenuring
+// (trained at half scale, the paper's methodology), and the online
+// advisor starting cold and warm. Every run is traced, and the table is
+// computed from the trace by internal/slo: exact nearest-rank pause and
+// request-latency percentiles plus minimum mutator utilization at the
+// default window sweep. All quantities are pure functions of the
+// simulated-cycle event stream, so the table is byte-identical at every
+// parallelism level and across runs.
+func ExperimentSLO(w io.Writer, scale workload.Scale, opts Options) error {
+	// Offline training input: the same mix at half the repetitions.
+	train := scale.Canon()
+	train.Repeat /= 2
+
+	// A tight budget keeps collections frequent enough that pauses shape
+	// the latency tail — the regime an SLO report exists for.
+	const sloK = 2
+	const perMix = 3 // none, offline, adapt-cold
+	var cfgs []RunConfig
+	for _, name := range SLOMixes {
+		cfgs = append(cfgs,
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: sloK, Trace: true},
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenPretenure, K: sloK, TrainScale: train, Trace: true},
+			RunConfig{Workload: name, Scale: scale, Kind: KindGenerational, K: sloK, Adapt: true, Trace: true})
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
+
+	// Warm batch: the adaptive configuration again, seeded with the
+	// profile the cold run just stored (ExperimentAdapt's two-batch
+	// pattern).
+	var warmCfgs []RunConfig
+	for i, name := range SLOMixes {
+		warmCfgs = append(warmCfgs, RunConfig{
+			Workload: name, Scale: scale, Kind: KindGenerational, K: sloK,
+			Adapt: true, AdaptWarm: rs[i*perMix+2].AdaptProfile, Trace: true,
+		})
+	}
+	warm, err := RunAll(warmCfgs, opts)
+	if err != nil {
+		return err
+	}
+
+	header(w, "Experiment: latency SLO (pause/request percentiles, MMU)")
+	fmt.Fprintln(w, "Exact nearest-rank percentiles over per-collection pauses and per-request")
+	fmt.Fprintln(w, "latencies (simulated cycles); MMU@w = minimum mutator utilization over every")
+	fmt.Fprintln(w, "window of w cycles (100% = no pause touches any such window).")
+	fmt.Fprintf(w, "%-24s | %7s %7s %7s | %8s %8s %8s %8s | %6s %6s %6s %6s\n",
+		"Mix/config", "p50", "p99", "p99.9", "req p50", "req p99", "p99.9", "max",
+		"MMU@1k", "@10k", "@100k", "@1M")
+	row := func(mix, config string, r *RunResult) error {
+		rep, err := slo.Compute(r.Trace.Data(r.Config.Label()), slo.DefaultWindows)
+		if err != nil {
+			return fmt.Errorf("harness: slo report for %s: %w", r.Config.Label(), err)
+		}
+		var rq slo.RequestStats
+		if rep.Requests != nil {
+			rq = *rep.Requests
+		}
+		fmt.Fprintf(w, "%-24s | %7d %7d %7d | %8d %8d %8d %8d |",
+			mix+"/"+config,
+			rep.Pauses.P50, rep.Pauses.P99, rep.Pauses.P999,
+			rq.P50, rq.P99, rq.P999, rq.Max)
+		for _, ws := range rep.Windows {
+			fmt.Fprintf(w, " %5.1f%%", float64(ws.MMUppm)/1e4)
+		}
+		fmt.Fprintln(w)
+		return nil
+	}
+	for i, mix := range SLOMixes {
+		configs := []struct {
+			name string
+			r    *RunResult
+		}{
+			{"none", rs[i*perMix]},
+			{"offline", rs[i*perMix+1]},
+			{"adapt-cold", rs[i*perMix+2]},
+			{"adapt-warm", warm[i]},
+		}
+		for _, c := range configs {
+			if err := row(mix, c.name, c.r); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -31,6 +31,11 @@ var detPackages = []string{
 	// or clock reads in the generator, interpreter, or driver would turn
 	// every reported seed into an unreplayable one-off.
 	"internal/fuzz",
+	// The SLO layer is a pure function of a frozen trace: percentiles,
+	// MMU/AMU curves, and report bytes must be identical across runs,
+	// machines, and parallelism levels. A clock read here would smuggle
+	// wall time into a report whose schema promises simulated cycles only.
+	"internal/slo",
 }
 
 // detrandBanned maps package path -> banned member names. An empty set

@@ -22,6 +22,7 @@ var fixturePatterns = []string{
 	"./testdata/src/internal/trace",
 	"./testdata/src/internal/adapt",
 	"./testdata/src/internal/fuzz",
+	"./testdata/src/internal/slo",
 	"./testdata/src/internal/mem",
 	"./testdata/src/internal/obj",
 	"./testdata/src/internal/costmodel",
@@ -290,7 +291,8 @@ func TestScannedPackageSet(t *testing.T) {
 		"tilgc/internal/core", "tilgc/internal/rt", "tilgc/internal/mem",
 		"tilgc/internal/obj", "tilgc/internal/costmodel", "tilgc/internal/prof",
 		"tilgc/internal/trace", "tilgc/internal/adapt", "tilgc/internal/fuzz",
-		"tilgc/internal/harness", "tilgc/internal/sanitize", "tilgc/internal/lint",
+		"tilgc/internal/slo", "tilgc/internal/harness", "tilgc/internal/sanitize",
+		"tilgc/internal/lint",
 		"tilgc/cmd/gcbench", "tilgc/cmd/gclint", "tilgc/gcsim",
 	} {
 		if !targets[path] {
@@ -316,7 +318,7 @@ func TestFenceCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 	fences := lint.FencePackages()
-	for _, want := range []string{"internal/adapt", "internal/trace", "internal/fuzz"} {
+	for _, want := range []string{"internal/adapt", "internal/trace", "internal/fuzz", "internal/slo"} {
 		found := false
 		for _, f := range fences {
 			if f == want {

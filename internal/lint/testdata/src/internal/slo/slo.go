@@ -1,0 +1,53 @@
+// Package slo is a gclint test fixture whose import path ends in
+// internal/slo, placing it inside the detrand determinism fence: an SLO
+// report is a pure function of a frozen trace, so wall-clock, scheduler,
+// and randomness reads are banned.
+package slo
+
+import (
+	"math/rand" // want: import of math/rand
+	"runtime"
+	"time"
+)
+
+// Report is a stand-in SLO report.
+type Report struct {
+	MMUppm []uint64
+}
+
+// Sample jitters a percentile with host randomness.
+func Sample(sorted []uint64) uint64 {
+	return sorted[rand.Intn(len(sorted))]
+}
+
+// Deadline stamps a report field from the wall clock instead of the
+// simulated-cycle timeline.
+func Deadline() uint64 {
+	return uint64(time.Now().UnixNano()) // want: time.Now
+}
+
+// Elapsed measures computation with a wall-clock delta.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want: time.Since
+}
+
+// Workers sizes the window sweep from a scheduler-dependent value.
+func Workers() int {
+	return runtime.GOMAXPROCS(0) // want: runtime.GOMAXPROCS
+}
+
+// Percentile is clean: integer nearest-rank on sorted cycles is
+// deterministic.
+func Percentile(sorted []uint64, ppm uint64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (ppm*uint64(len(sorted)) + 1e6 - 1) / 1e6
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > uint64(len(sorted)) {
+		rank = uint64(len(sorted))
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,108 @@
+package slo
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome counter-track sink for utilization curves: each run becomes one
+// thread carrying "mmu" / "amu" counter ("C") events whose timestamp is
+// the window size in cycles and whose values are the stored ppm
+// integers. Loaded in Perfetto, the counter chart plots utilization
+// against window size — the paper-standard MMU curve — with no floats in
+// the file, so the output is byte-identical everywhere.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   uint64         `json:"ts"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeCounters writes the report's MMU/AMU curves as Chrome
+// trace-event JSON counter tracks.
+func (r *Report) WriteChromeCounters(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		if !first {
+			if _, err := io.WriteString(bw, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: 0, Tid: 0,
+		Args: map[string]any{"name": "gcsim slo"}}); err != nil {
+		return err
+	}
+	for tid, rr := range r.Runs {
+		label := rr.Label
+		if label == "" {
+			label = fmt.Sprintf("run %d", tid)
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]any{"name": label}}); err != nil {
+			return err
+		}
+		for _, ws := range rr.Windows {
+			if err := emit(chromeEvent{Name: "mmu", Ph: "C", Pid: 0, Tid: tid, Ts: ws.Window,
+				Args: map[string]any{"ppm": ws.MMUppm}}); err != nil {
+				return err
+			}
+			if err := emit(chromeEvent{Name: "amu", Ph: "C", Pid: 0, Tid: tid, Ts: ws.Window,
+				Args: map[string]any{"ppm": ws.AMUppm}}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := io.WriteString(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteMMUTable renders the utilization curves as a compact table: one
+// row per run, one column per sweep window, MMU then AMU blocks.
+// Percentages are derived from the stored ppm values only at render time.
+func (r *Report) WriteMMUTable(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeBlock := func(title string, pick func(WindowStats) uint64) {
+		fmt.Fprintln(bw, title)
+		fmt.Fprintf(bw, "%-44s", "window (cycles):")
+		for _, win := range r.Windows {
+			fmt.Fprintf(bw, " %9d", win)
+		}
+		fmt.Fprintln(bw)
+		for i, rr := range r.Runs {
+			label := rr.Label
+			if label == "" {
+				label = fmt.Sprintf("run %d", i)
+			}
+			fmt.Fprintf(bw, "%-44s", label)
+			for _, ws := range rr.Windows {
+				fmt.Fprintf(bw, " %8.2f%%", float64(pick(ws))/1e4)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	writeBlock("MMU (minimum mutator utilization over any window of w cycles)",
+		func(ws WindowStats) uint64 { return ws.MMUppm })
+	fmt.Fprintln(bw)
+	writeBlock("AMU (average mutator utilization over all windows of w cycles)",
+		func(ws WindowStats) uint64 { return ws.AMUppm })
+	return bw.Flush()
+}

@@ -21,6 +21,7 @@ type chromeEvent struct {
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -85,6 +86,32 @@ func (f *File) WriteChrome(w io.Writer) error {
 				ce.Name = e.Phase.String()
 			}
 			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+		// Footprint timeline: one counter ("C") track per space, two
+		// series each (live, committed), sampled at every gc_end. Perfetto
+		// renders these as stacked area charts under the run's thread.
+		for _, h := range d.Heap {
+			for _, sp := range h.Spaces {
+				if err := emit(chromeEvent{
+					Name: "heap." + sp.Name, Ph: "C", Pid: 0, Tid: tid,
+					Ts:   uint64(h.Break.Total()),
+					Args: map[string]any{"live": sp.Live, "committed": sp.Committed},
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		// Request spans as complete ("X") events: ts/dur carry the span,
+		// args carry the GC share so slow requests can be attributed to
+		// the pauses that landed inside them without cross-referencing.
+		for _, q := range d.Reqs {
+			if err := emit(chromeEvent{
+				Name: fmt.Sprintf("req %d", q.ID), Ph: "X", Pid: 0, Tid: tid,
+				Ts: uint64(q.Begin.Total()), Dur: uint64(q.Latency()),
+				Args: map[string]any{"gc_cycles": uint64(q.GCCycles())},
+			}); err != nil {
 				return err
 			}
 		}

@@ -22,6 +22,10 @@ import (
 //	{"t":"gc_end","run":i,"seq":s,...,"counters":{...}}
 //	{"t":"run_end","run":i,"client":..,"stack":..,"copy":..}
 //	{"t":"adapt","run":i,"seq":s,"site":..,"verb":"promote",...}  adaptive runs only
+//	{"t":"heap","run":i,"seq":s,...,"spaces":[{"name":..,"live":..,"committed":..}]}
+//	                                                         heap-sampled runs only
+//	{"t":"req","run":i,"id":..,"b_client":..,...,"e_client":..,...}
+//	                                                         request workloads only
 //	{"t":"site","run":i,"site":..,"name":..,...}             sorted by site id
 //	{"t":"metric","run":i,"name":..,"kind":..,...}           sorted by name
 //
@@ -87,6 +91,46 @@ type recAdapt struct {
 	Stack       uint64 `json:"stack"`
 	Copy        uint64 `json:"copy"`
 	Adapt       uint64 `json:"adapt,omitempty"`
+}
+
+// recHeap is one end-of-collection footprint sample. Like recAdapt it is
+// gated — emitted only when the producing run enabled heap sampling — so
+// default streams (and the golden fixture) are byte-identical to builds
+// predating it.
+type recHeap struct {
+	T      string         `json:"t"`
+	Run    int            `json:"run"`
+	Seq    uint64         `json:"seq"`
+	At     uint64         `json:"at"`
+	Client uint64         `json:"client"`
+	Stack  uint64         `json:"stack"`
+	Copy   uint64         `json:"copy"`
+	Adapt  uint64         `json:"adapt,omitempty"`
+	Spaces []recHeapSpace `json:"spaces"`
+}
+
+type recHeapSpace struct {
+	Name      string `json:"name"`
+	Live      uint64 `json:"live"`
+	Committed uint64 `json:"committed"`
+}
+
+// recReq is one served request span: the full meter breakdown at arrival
+// (b_*) and completion (e_*). Latency and the GC share inside the request
+// are deltas of the two snapshots; no derived field is stored, so the
+// record cannot disagree with itself.
+type recReq struct {
+	T       string `json:"t"`
+	Run     int    `json:"run"`
+	ID      uint64 `json:"id"`
+	BClient uint64 `json:"b_client"`
+	BStack  uint64 `json:"b_stack"`
+	BCopy   uint64 `json:"b_copy"`
+	BAdapt  uint64 `json:"b_adapt,omitempty"`
+	EClient uint64 `json:"e_client"`
+	EStack  uint64 `json:"e_stack"`
+	ECopy   uint64 `json:"e_copy"`
+	EAdapt  uint64 `json:"e_adapt,omitempty"`
 }
 
 type recSite struct {
@@ -190,7 +234,29 @@ func (f *File) WriteJSONL(w io.Writer) error {
 				SurvivalPPM: a.SurvivalPPM, GarbagePPM: a.GarbagePPM, SampleWords: a.SampleWords,
 				At:     uint64(a.Break.Total()),
 				Client: uint64(a.Break.Client), Stack: uint64(a.Break.GCStack),
-				Copy:   uint64(a.Break.GCCopy), Adapt: uint64(a.Break.Adapt)}); err != nil {
+				Copy: uint64(a.Break.GCCopy), Adapt: uint64(a.Break.Adapt)}); err != nil {
+				return err
+			}
+		}
+		for _, h := range d.Heap {
+			spaces := make([]recHeapSpace, len(h.Spaces))
+			for j, sp := range h.Spaces {
+				spaces[j] = recHeapSpace{Name: sp.Name, Live: sp.Live, Committed: sp.Committed}
+			}
+			if err := enc.Encode(recHeap{T: "heap", Run: i, Seq: h.Seq,
+				At:     uint64(h.Break.Total()),
+				Client: uint64(h.Break.Client), Stack: uint64(h.Break.GCStack),
+				Copy: uint64(h.Break.GCCopy), Adapt: uint64(h.Break.Adapt),
+				Spaces: spaces}); err != nil {
+				return err
+			}
+		}
+		for _, q := range d.Reqs {
+			if err := enc.Encode(recReq{T: "req", Run: i, ID: q.ID,
+				BClient: uint64(q.Begin.Client), BStack: uint64(q.Begin.GCStack),
+				BCopy: uint64(q.Begin.GCCopy), BAdapt: uint64(q.Begin.Adapt),
+				EClient: uint64(q.End.Client), EStack: uint64(q.End.GCStack),
+				ECopy: uint64(q.End.GCCopy), EAdapt: uint64(q.End.Adapt)}); err != nil {
 				return err
 			}
 		}
@@ -326,6 +392,43 @@ func ReadJSONL(r io.Reader) (*File, error) {
 				SurvivalPPM: ra.SurvivalPPM, GarbagePPM: ra.GarbagePPM,
 				SampleWords: ra.SampleWords, Break: b,
 			})
+		case "heap":
+			var rh recHeap
+			if err := strict(line, &rh); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			b := costmodel.Breakdown{
+				Client:  costmodel.Cycles(rh.Client),
+				GCStack: costmodel.Cycles(rh.Stack),
+				GCCopy:  costmodel.Cycles(rh.Copy),
+				Adapt:   costmodel.Cycles(rh.Adapt),
+			}
+			if costmodel.Cycles(rh.At) != b.Total() {
+				return nil, fmt.Errorf("trace: line %d: at %d != breakdown total %d", lineNo, rh.At, b.Total())
+			}
+			spaces := make([]SpaceOcc, len(rh.Spaces))
+			for j, sp := range rh.Spaces {
+				spaces[j] = SpaceOcc{Name: sp.Name, Live: sp.Live, Committed: sp.Committed}
+			}
+			cur.Heap = append(cur.Heap, HeapSample{Seq: rh.Seq, Break: b, Spaces: spaces})
+		case "req":
+			var rq recReq
+			if err := strict(line, &rq); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+			}
+			cur.Reqs = append(cur.Reqs, RequestSpan{ID: rq.ID,
+				Begin: costmodel.Breakdown{
+					Client:  costmodel.Cycles(rq.BClient),
+					GCStack: costmodel.Cycles(rq.BStack),
+					GCCopy:  costmodel.Cycles(rq.BCopy),
+					Adapt:   costmodel.Cycles(rq.BAdapt),
+				},
+				End: costmodel.Breakdown{
+					Client:  costmodel.Cycles(rq.EClient),
+					GCStack: costmodel.Cycles(rq.EStack),
+					GCCopy:  costmodel.Cycles(rq.ECopy),
+					Adapt:   costmodel.Cycles(rq.EAdapt),
+				}})
 		case "site":
 			var rs recSite
 			if err := strict(line, &rs); err != nil {
@@ -470,6 +573,44 @@ func (d *RunData) validate() error {
 	}
 	if d.Final.Total() < prev.Total() {
 		return fmt.Errorf("final meter breakdown precedes last event")
+	}
+	var prevHeap costmodel.Breakdown
+	for i, h := range d.Heap {
+		if h.Seq == 0 || h.Seq > seq {
+			return fmt.Errorf("heap sample %d: collection seq %d outside 1..%d", i, h.Seq, seq)
+		}
+		if h.Break.Total() < prevHeap.Total() {
+			return fmt.Errorf("heap sample %d: timestamp went backwards", i)
+		}
+		prevHeap = h.Break
+		if h.Break.Total() > d.Final.Total() {
+			return fmt.Errorf("heap sample %d: timestamp after final meter", i)
+		}
+		if len(h.Spaces) == 0 {
+			return fmt.Errorf("heap sample %d: no spaces", i)
+		}
+		for _, sp := range h.Spaces {
+			if sp.Name == "" {
+				return fmt.Errorf("heap sample %d: unnamed space", i)
+			}
+			if sp.Live > sp.Committed {
+				return fmt.Errorf("heap sample %d: space %s live %d > committed %d", i, sp.Name, sp.Live, sp.Committed)
+			}
+		}
+	}
+	var prevReq costmodel.Cycles
+	for i, q := range d.Reqs {
+		if q.End.Client < q.Begin.Client || q.End.GCStack < q.Begin.GCStack ||
+			q.End.GCCopy < q.Begin.GCCopy || q.End.Adapt < q.Begin.Adapt {
+			return fmt.Errorf("request span %d (id %d): end breakdown precedes begin", i, q.ID)
+		}
+		if q.Begin.Total() < prevReq {
+			return fmt.Errorf("request span %d (id %d): begins before the previous span's start", i, q.ID)
+		}
+		prevReq = q.Begin.Total()
+		if q.End.Total() > d.Final.Total() {
+			return fmt.Errorf("request span %d (id %d): ends after final meter", i, q.ID)
+		}
 	}
 	return d.Reconcile()
 }

@@ -44,6 +44,14 @@ type Recorder struct {
 	adaptProms   *Metric
 	adaptDemos   *Metric
 	adaptSamples *Metric
+
+	// Footprint and request telemetry (SLO layer). Both are opt-in /
+	// workload-driven: heap samples are recorded only after
+	// EnableHeapSampling, request spans only when a workload wraps its
+	// requests — so pre-existing traces stay byte-identical.
+	heapOn bool
+	heap   []HeapSample
+	reqs   []RequestSpan
 }
 
 // SiteCounters aggregates one allocation site's telemetry: words allocated
@@ -193,6 +201,47 @@ func (r *Recorder) DeadSite(id obj.SiteID, words uint64) {
 	r.site(id).DiedWords += words
 }
 
+// EnableHeapSampling turns on end-of-collection footprint snapshots.
+// Collectors gate their sample construction on HeapSampling, so disabled
+// (and untraced) runs build nothing and the zero-allocation GC path is
+// preserved.
+func (r *Recorder) EnableHeapSampling() {
+	if r == nil {
+		return
+	}
+	r.heapOn = true
+}
+
+// HeapSampling reports whether the recorder wants footprint snapshots.
+// Nil-safe: a nil recorder never samples.
+func (r *Recorder) HeapSampling() bool {
+	return r != nil && r.heapOn
+}
+
+// HeapSample records one end-of-collection footprint snapshot. Collectors
+// call it inside the open collection span, immediately before EndGC, so
+// the sample carries the closing collection's number and a meter snapshot
+// equal to the gc_end event's.
+func (r *Recorder) HeapSample(spaces []SpaceOcc) {
+	if r == nil || !r.heapOn {
+		return
+	}
+	if !r.gcOpen {
+		panic("trace: HeapSample outside a collection span")
+	}
+	r.heap = append(r.heap, HeapSample{Seq: r.seq, Break: r.meter.Snapshot(), Spaces: spaces})
+}
+
+// Request records one served request span from its two meter snapshots.
+// Workloads call it (via workload.Mutator.Request) as each request
+// completes, so spans arrive in completion order.
+func (r *Recorder) Request(id uint64, begin, end costmodel.Breakdown) {
+	if r == nil {
+		return
+	}
+	r.reqs = append(r.reqs, RequestSpan{ID: id, Begin: begin, End: end})
+}
+
 // CountStubReturn counts one mutator return through a stack-marker stub.
 func (r *Recorder) CountStubReturn() {
 	if r == nil {
@@ -299,6 +348,8 @@ func (r *Recorder) Data(label string) *RunData {
 		Sites:   sites,
 		Metrics: r.reg.Snapshot(),
 		Adapt:   r.adapt,
+		Heap:    r.heap,
+		Reqs:    r.reqs,
 	}
 }
 
@@ -317,7 +368,8 @@ func (r *Recorder) VerifyReconciled() error {
 
 // RunData is one run's frozen trace: events in emission order, the final
 // meter breakdown, sorted per-site counters, sorted metric snapshots, and
-// (adaptive runs only) the advisor's decisions in emission order.
+// — when the producing run opted in — the advisor's decisions, footprint
+// samples, and request spans, each in emission order.
 type RunData struct {
 	Label   string
 	Events  []Event
@@ -325,6 +377,8 @@ type RunData struct {
 	Sites   []SiteCounters
 	Metrics []Metric
 	Adapt   []AdaptDecision
+	Heap    []HeapSample
+	Reqs    []RequestSpan
 }
 
 // Reconcile verifies the phase/meter tiling invariant on frozen data (see

@@ -110,6 +110,41 @@ func (d *RunData) Summarize() *RunSummary {
 	return s
 }
 
+// Percentile returns the exact nearest-rank percentile of sorted
+// (ascending) values: the element of 1-based rank ceil(ppm*n/1e6),
+// clamped to [1, n]. ppm is the percentile in parts per million
+// (p99.9 = 999000), keeping the computation integer-only so results are
+// byte-identical across platforms. ok is false for empty input.
+//
+// Unlike the log2-bucket histogram quantile, which can only bound a
+// percentile by its bucket's upper edge, this is the exact recorded value
+// — the difference the SLO layer exists to expose.
+func Percentile(sorted []uint64, ppm uint64) (v uint64, ok bool) {
+	n := uint64(len(sorted))
+	if n == 0 {
+		return 0, false
+	}
+	rank := (ppm*n + 1e6 - 1) / 1e6
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1], true
+}
+
+// PauseCycles returns the run's per-collection pause costs (GC-component
+// cycles) sorted ascending — the input Percentile expects.
+func (s *RunSummary) PauseCycles() []uint64 {
+	out := make([]uint64, len(s.Pauses))
+	for i, p := range s.Pauses {
+		out[i] = uint64(p.Cycles)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // TopPauses returns the n longest pauses, longest first; ties break toward
 // the earlier collection so the ordering is total.
 func (s *RunSummary) TopPauses(n int) []Pause {
@@ -218,8 +253,19 @@ func writePauses(bw *bufio.Writer, s *RunSummary, d *RunData, topPauses int, ms 
 			hist = &d.Metrics[j]
 		}
 	}
+	if len(s.Pauses) > 0 {
+		// Exact nearest-rank percentiles from the per-collection Pause
+		// records — not the log2-bucket upper bounds the histogram gives.
+		pc := s.PauseCycles()
+		p50, _ := Percentile(pc, 500000)
+		p90, _ := Percentile(pc, 900000)
+		p99, _ := Percentile(pc, 990000)
+		p999, _ := Percentile(pc, 999000)
+		fmt.Fprintf(bw, "\npause percentiles (cycles, exact): p50=%d p90=%d p99=%d p99.9=%d max=%d\n",
+			p50, p90, p99, p999, pc[len(pc)-1])
+	}
 	if hist != nil && hist.Count > 0 {
-		fmt.Fprintf(bw, "\npause histogram (cycles, log2 buckets): n=%d mean=%.0f max=%d p90<=%d\n",
+		fmt.Fprintf(bw, "pause histogram (cycles, log2 buckets): n=%d mean=%.0f max=%d p90<=%d\n",
 			hist.Count, hist.Mean(), hist.Max, hist.Quantile(0.9))
 		for b, n := range hist.Buckets {
 			if n == 0 {

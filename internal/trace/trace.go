@@ -181,3 +181,43 @@ type AdaptDecision struct {
 	SampleWords uint64 // decayed sample mass behind the estimate
 	Break       costmodel.Breakdown
 }
+
+// SpaceOcc is one heap space's occupancy at a sample point: live words
+// still in use after the collection, and committed words the space holds
+// from the simulated OS. Names are stable per collector ("nursery",
+// "aging", "tenured", "los", "semispace").
+type SpaceOcc struct {
+	Name      string
+	Live      uint64
+	Committed uint64
+}
+
+// HeapSample is one end-of-collection footprint snapshot: per-space live
+// and committed words, stamped like every other record with the full
+// meter breakdown (timestamp Break.Total()) and the collection number it
+// closes. Samples are emitted only when heap sampling is enabled on the
+// Recorder, so default traces — including the golden fixture — carry none.
+type HeapSample struct {
+	Seq    uint64
+	Break  costmodel.Breakdown
+	Spaces []SpaceOcc
+}
+
+// RequestSpan is one served request on the simulated-cycle timeline: the
+// meter breakdowns at arrival and completion. Latency is
+// End.Total()-Begin.Total(); the GC share of that latency — the pause
+// cycles that landed inside the request — reads directly off the same two
+// snapshots as End.GC()-Begin.GC(). Spans are emitted only by workloads
+// that wrap their requests (workload.Mutator.Request), so batch traces
+// carry none.
+type RequestSpan struct {
+	ID    uint64
+	Begin costmodel.Breakdown
+	End   costmodel.Breakdown
+}
+
+// Latency returns the request's simulated-cycle duration.
+func (s RequestSpan) Latency() costmodel.Cycles { return s.End.Total() - s.Begin.Total() }
+
+// GCCycles returns the collector cycles that landed inside the request.
+func (s RequestSpan) GCCycles() costmodel.Cycles { return s.End.GC() - s.Begin.GC() }

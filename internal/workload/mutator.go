@@ -18,6 +18,7 @@ import (
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
 	"tilgc/internal/rt"
+	"tilgc/internal/trace"
 )
 
 // Mutator bundles the collector and the simulated runtime into the
@@ -27,6 +28,10 @@ type Mutator struct {
 	Stack *rt.Stack
 	Table *rt.TraceTable
 	Meter *costmodel.Meter
+	// Rec, when the harness attaches one, receives the request spans that
+	// server workloads emit via Request. Nil for untraced runs (and for
+	// batch workloads, which never call Request).
+	Rec *trace.Recorder
 }
 
 // NewMutator creates a mutator over the given collector and runtime.
@@ -151,6 +156,22 @@ func (m *Mutator) SetSlotNil(i int) { m.Stack.SetSlot(i, uint64(mem.Nil)) }
 // comparisons — everything that is neither memory traffic nor calls).
 func (m *Mutator) Work(n uint64) {
 	m.Meter.ChargeN(costmodel.Client, costmodel.ClientWork, n)
+}
+
+// Request brackets one served request: the meter is snapshotted before
+// and after body and the pair is recorded as a request span, so the
+// request's simulated-cycle latency — and the share of it spent inside
+// collections that landed mid-request — reads directly off the trace.
+// With no recorder attached body simply runs; the request costs exactly
+// the same cycles either way.
+func (m *Mutator) Request(id uint64, body func()) {
+	if m.Rec == nil {
+		body()
+		return
+	}
+	begin := m.Meter.Snapshot()
+	body()
+	m.Rec.Request(id, begin, m.Meter.Snapshot())
 }
 
 // Aux reads the aux mark byte of the object in slot objSlot (application-

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"tilgc/internal/obj"
+)
+
+// serverBench is the request/response server family feeding the SLO
+// layer: a deterministic arrival schedule of request bursts against
+// long-lived session and cache tables, with per-request allocation graphs
+// that die when the request completes. Each request is bracketed by
+// Mutator.Request, so a traced run records every request's simulated-cycle
+// latency and the pause cycles that landed inside it — the data the
+// internal/slo report attributes tail latency from.
+//
+// Three traffic mixes are registered:
+//
+//   - ServerSteady: a steady drip of small bursts. Sessions and cache
+//     entries live for the whole run, so the session/cache sites are
+//     textbook pretenuring candidates and request scratch is textbook
+//     die-young data.
+//   - ServerBurst: the same total request count arriving in 8x larger
+//     bursts with 8x longer idle gaps — the fan-in adversary. Bursts
+//     pile allocation into short intervals, so pauses cluster inside
+//     bursts and the max-pause-density windows move with them.
+//   - ServerChurn: the cache-churn adversary. Every few requests the
+//     addressed cache entry is evicted and replaced, so the cache site's
+//     early ~100% survival mistrains an offline profile: pretenured
+//     replacements become tenured garbage, the same trap PhaseShift
+//     springs on the adaptive advisor — but under request traffic.
+type serverBench struct {
+	name   string
+	desc   string
+	burst  int // requests served back-to-back per arrival
+	bursts int // paper-scale number of arrivals (scaled by Repeat)
+	gap    int // idle mutator work between arrivals, per burst slot
+	churn  int // replace the addressed cache entry every Nth request (0 = never)
+}
+
+// Server family allocation sites.
+const (
+	svSiteTable   obj.SiteID = 1300 + iota // session/cache backbone arrays (live whole run)
+	svSiteSession                          // session records (live whole run)
+	svSiteCache                            // cache entries (whole-run under steady; churned by the adversary)
+	svSiteReq                              // per-request scratch record (dies with the request)
+	svSiteResp                             // response list cells (die with the request)
+)
+
+func init() {
+	register(serverBench{
+		name:   "ServerSteady",
+		desc:   "Request/response server, steady traffic: small bursts against long-lived session and cache tables, per-request garbage",
+		burst:  4,
+		bursts: 6000,
+		gap:    2000,
+	})
+	register(serverBench{
+		name:   "ServerBurst",
+		desc:   "Request/response server, bursty fan-in: the steady mix's request count arriving in 8x larger bursts with matching idle gaps",
+		burst:  32,
+		bursts: 750,
+		gap:    16000,
+	})
+	register(serverBench{
+		name:   "ServerChurn",
+		desc:   "Request/response server with a cache-churn adversary: steady traffic that evicts and replaces cache entries, mistraining survival profiles",
+		burst:  4,
+		bursts: 6000,
+		gap:    2000,
+		churn:  8,
+	})
+}
+
+func (s serverBench) Name() string        { return s.name }
+func (s serverBench) Description() string { return s.desc }
+
+func (serverBench) Sites() map[obj.SiteID]string {
+	return map[obj.SiteID]string{
+		svSiteTable:   "session/cache table",
+		svSiteSession: "session record",
+		svSiteCache:   "cache entry",
+		svSiteReq:     "request scratch",
+		svSiteResp:    "response cell",
+	}
+}
+
+func (serverBench) OnlyOldSites() []obj.SiteID { return nil }
+
+const (
+	svSessions      = 192 // session table entries
+	svCacheEntries  = 96  // cache table entries
+	svSessionFields = 8
+	svCacheFields   = 16
+	svRespCells     = 24 // response list length per request
+)
+
+func (s serverBench) Run(m *Mutator, scale Scale) Result {
+	// main(sessions, cache, obj, cursor) and req(sessions, cache, session,
+	// cacheEntry, scratch, resp).
+	main := m.PtrFrame("sv_main", 4)
+	req := m.PtrFrame("sv_req", 6)
+
+	bursts := scale.Reps(s.bursts)
+
+	var check uint64
+	m.Call(main, func() {
+		// Long-lived state: the session table and cache, populated before
+		// traffic starts. Both backbones and every entry survive to the end
+		// of the run (cache entries survive until churned).
+		m.AllocPtrArray(svSiteTable, svSessions, 1)
+		for i := 0; i < svSessions; i++ {
+			m.AllocRecord(svSiteSession, svSessionFields, 0, 3)
+			m.InitIntField(3, 0, 0)                          // request counter
+			m.InitIntField(3, 1, uint64(i)*2654435761+12289) // session key
+			m.StorePtrField(1, uint64(i), 3)
+		}
+		m.AllocPtrArray(svSiteTable, svCacheEntries, 2)
+		for i := 0; i < svCacheEntries; i++ {
+			m.AllocRecord(svSiteCache, svCacheFields, 0, 3)
+			m.InitIntField(3, 0, uint64(i)*40503+7)
+			m.StorePtrField(2, uint64(i), 3)
+		}
+		m.SetSlotNil(3)
+
+		// The arrival schedule: bursts of back-to-back requests separated
+		// by idle mutator work. The schedule is a pure function of the mix
+		// parameters and the scale, so request ids, arrival cycles, and
+		// therefore the whole latency distribution are deterministic.
+		var id uint64
+		for b := 0; b < bursts; b++ {
+			for r := 0; r < s.burst; r++ {
+				rid := id
+				id++
+				m.Request(rid, func() {
+					m.CallArgs(req, []int{1, 2}, func() {
+						check = check*33 + s.serve(m, rid)
+					})
+				})
+			}
+			m.Work(uint64(s.gap) * uint64(s.burst))
+		}
+
+		// Fold the surviving session counters into the self-check: the
+		// long-lived state must have seen every request exactly once.
+		for i := 0; i < svSessions; i++ {
+			m.LoadField(1, uint64(i), 3)
+			check = check*31 + m.LoadFieldInt(3, 0)
+		}
+		m.SetSlotNil(3)
+	})
+	return Result{Check: check}
+}
+
+// serve handles one request inside the req frame: slots 1..2 hold the
+// session and cache tables, 3..6 are scratch. The returned value is the
+// request's deterministic digest.
+func (s serverBench) serve(m *Mutator, id uint64) uint64 {
+	// Per-request scratch record: dies when the request completes.
+	m.AllocRecord(svSiteReq, 8, 0, 5)
+	m.InitIntField(5, 0, id*2246822519+101)
+
+	// Touch the addressed session: bump its request counter.
+	sIdx := (id*2654435761 + 11) % svSessions
+	m.LoadField(1, sIdx, 3)
+	hits := m.LoadFieldInt(3, 0) + 1
+	m.StoreIntField(3, 0, hits)
+	digest := m.LoadFieldInt(3, 1) ^ hits
+
+	// Cache lookup; the churn adversary replaces the addressed entry
+	// every Nth request, turning the previous entry into garbage wherever
+	// it was placed.
+	cIdx := (id*2246822519 + 5) % svCacheEntries
+	if s.churn != 0 && id%uint64(s.churn) == uint64(s.churn)-1 {
+		m.AllocRecord(svSiteCache, svCacheFields, 0, 4)
+		m.InitIntField(4, 0, id*40503+7)
+		m.StorePtrField(2, cIdx, 4)
+	}
+	m.LoadField(2, cIdx, 4)
+	digest = digest*17 + m.LoadFieldInt(4, 0)
+
+	// Build the response: a fresh list of cells folded into the digest and
+	// dropped — the per-request garbage the nursery exists for.
+	m.SetSlotNil(6)
+	for i := 0; i < svRespCells; i++ {
+		m.ConsInt(svSiteResp, digest+uint64(i)*97, 6, 6)
+		m.Work(2)
+	}
+	for !m.IsNil(6) {
+		digest = digest*13 + m.HeadInt(6)
+		m.Tail(6, 6)
+	}
+	m.SetSlotNil(3)
+	m.SetSlotNil(4)
+	m.SetSlotNil(5)
+	return digest
+}
