@@ -57,6 +57,10 @@ func main() {
 		"trace sink format: jsonl (schema-versioned, gctrace-readable) or chrome (Perfetto-loadable)")
 	traceHeap := flag.Bool("trace-heap", false,
 		"sample per-space heap occupancy (live/committed words) at every collection into the trace")
+	threads := flag.Int("threads", 0,
+		"simulated mutator threads per run (0/1 = single-threaded; only thread-scheduling workloads change results)")
+	gcWorkers := flag.Int("gc-workers", 0,
+		"parallel copying workers per collection (0/1 = serial; heap contents and client results are identical, pauses shard)")
 	adaptRuns := flag.Bool("adapt", false,
 		"attach the online adaptive-pretenuring advisor to every generational run (semispace runs are unaffected)")
 	adaptStore := flag.String("adapt-store", "",
@@ -120,7 +124,8 @@ func main() {
 		return
 	}
 
-	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns, TraceHeap: *traceHeap}
+	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns, TraceHeap: *traceHeap,
+		Threads: *threads, GCWorkers: *gcWorkers}
 	if *progress {
 		opts.Events = progressWriter
 	}

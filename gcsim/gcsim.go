@@ -86,6 +86,23 @@ type Config struct {
 	Profile bool
 	// SiteNames documents allocation sites in profile reports.
 	SiteNames map[SiteID]string
+	// Threads runs the mutator over this many simulated threads: thread 0
+	// wraps the primary stack and the rest spawn with empty stacks. The
+	// scheduler is cooperative — programs switch with
+	// Mutator.SetThread — so 0 or 1 is the single-thread runtime,
+	// byte-identical to builds without thread support.
+	Threads int
+	// GCWorkers enables the deterministic parallel copying phases with
+	// this many simulated workers: heap images stay byte-identical at
+	// every worker count while pause wall time shrinks to the critical
+	// path (max-of-workers). 0 or 1 is the serial collector.
+	GCWorkers int
+	// DeferMajor bounds individual pauses in the generational collectors:
+	// an over-threshold major collection runs as its own pause at the next
+	// GC trigger instead of piggybacking on the minor that crossed the
+	// threshold. Same collections, same work — only the pause boundaries
+	// move. Ignored by the semispace collector (every collection is full).
+	DeferMajor bool
 }
 
 // Re-exported building blocks.
@@ -168,22 +185,28 @@ func NewRuntime(cfg Config) *Runtime {
 		budget = 512 << 20
 	}
 	var col core.Collector
+	var attachThreads func(*rt.ThreadSet)
 	switch cfg.Collector {
 	case Semispace:
 		// MarkerN passes through: §5's stack markers apply to the semispace
 		// collector too (the cfg used to pin this to 0, silently ignoring a
 		// requested spacing — one of the gaps Validate now closes by wiring
 		// rather than rejecting, since the core supports it).
-		col = core.NewSemispace(stack, meter, hook, core.SemispaceConfig{
+		s := core.NewSemispace(stack, meter, hook, core.SemispaceConfig{
 			BudgetWords: budget,
 			MarkerN:     cfg.MarkerN,
+			Workers:     cfg.GCWorkers,
 		})
+		col = s
+		attachThreads = s.AttachThreads
 	default:
 		gcfg := core.GenConfig{
 			BudgetWords:  budget,
 			NurseryWords: cfg.NurseryWords,
 			UseCardTable: cfg.CardTable,
 			AgingMinors:  cfg.AgingMinors,
+			Workers:      cfg.GCWorkers,
+			DeferMajor:   cfg.DeferMajor,
 		}
 		if cfg.Collector >= GenerationalMarkers {
 			gcfg.MarkerN = cfg.MarkerN
@@ -195,7 +218,19 @@ func NewRuntime(cfg Config) *Runtime {
 			gcfg.Pretenure = cfg.Pretenure
 			gcfg.ScanElision = cfg.ScanElision
 		}
-		col = core.NewGenerational(stack, meter, hook, gcfg)
+		g := core.NewGenerational(stack, meter, hook, gcfg)
+		col = g
+		attachThreads = g.AttachThreads
+	}
+	// The thread set exists only for T > 1, so single-thread runtimes run
+	// the exact pre-thread code paths.
+	var threads *rt.ThreadSet
+	if cfg.Threads > 1 {
+		threads = rt.NewThreadSet(stack, meter)
+		attachThreads(threads)
+		for i := 1; i < cfg.Threads; i++ {
+			threads.Spawn()
+		}
 	}
 	r := &Runtime{
 		cfg:      cfg,
@@ -206,6 +241,7 @@ func NewRuntime(cfg Config) *Runtime {
 		profiler: profiler,
 	}
 	r.mutator = workload.NewMutator(col, stack, table, meter)
+	r.mutator.Threads = threads
 	return r
 }
 

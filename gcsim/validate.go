@@ -57,6 +57,12 @@ func (c Config) Validate() error {
 	if c.AgingMinors < 0 {
 		bad("AgingMinors %d is negative", c.AgingMinors)
 	}
+	if c.Threads < 0 {
+		bad("Threads %d is negative", c.Threads)
+	}
+	if c.GCWorkers < 0 {
+		bad("GCWorkers %d is negative", c.GCWorkers)
+	}
 
 	switch c.Collector {
 	case GenerationalFull:

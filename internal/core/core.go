@@ -88,6 +88,10 @@ type GCStats struct {
 	SSBProcessed uint64 // store-buffer entries examined by the collector
 	LOSSwept     uint64 // large objects freed by mark-sweep
 	Pretenured   uint64 // objects allocated directly into the old generation
+
+	// Parallel-collection accounting (W > 1 only; zero otherwise).
+	ParallelQuanta uint64 // work quanta distributed across simulated workers
+	WorkSteals     uint64 // quanta claimed by a different worker than the previous one
 }
 
 // AvgPauseCycles returns the mean collection pause in cycles.

@@ -55,6 +55,23 @@ type GenConfig struct {
 	UseCardTable bool
 	// CardShift is log2 words per card when UseCardTable is set.
 	CardShift uint
+	// DeferMajor bounds individual pauses: when a minor collection pushes
+	// the tenured generation over its threshold, the major collection is
+	// deferred to the next GC trigger instead of running inside the same
+	// pause. The mutator runs between the two pauses, so a latency window
+	// never has to absorb a minor and a full collection back to back. The
+	// same collections happen with the same work — only the pause
+	// boundaries move. Default false is the in-pause escalation the
+	// original traces pin.
+	DeferMajor bool
+	// Workers > 1 enables the deterministic parallel copying phases: the
+	// collection executes the identical serial work order (heap images
+	// are byte-identical at every W), but parallel-phase cycles are
+	// distributed over W simulated workers, so pause wall time is the
+	// critical path (max of workers) while the hidden sum-max cycles are
+	// accounted in the meter's overlap counter. Zero or 1 is the serial
+	// collector, byte-identical to pre-parallel builds.
+	Workers int
 	// Trace, when non-nil, receives phase spans and per-site telemetry.
 	// Tracing charges nothing to the meter.
 	Trace *trace.Recorder
@@ -117,6 +134,9 @@ type Generational struct {
 	sticky      []mem.Addr
 	stickySpare []mem.Addr
 	inGC        bool
+	// pendingMajor is set when DeferMajor postpones an over-threshold
+	// major; the next Collect call of either flavor runs it.
+	pendingMajor bool
 
 	// pretenureOn caches Pretenure.Len() > 0 so the allocation fast path
 	// skips the per-site policy probe entirely when no site is selected.
@@ -136,6 +156,19 @@ type Generational struct {
 	ev      evacuator
 	cardBuf []uint64
 	cardFAs []mem.Addr
+
+	// tally shards parallel-phase cycles over simulated workers (nil for
+	// W <= 1; see costmodel.WorkerTally).
+	tally *costmodel.WorkerTally
+
+	// threads, when non-nil, is the simulated mutator thread set: every
+	// live thread's stack is a root source (each with its own scanner and
+	// markers), pointer stores route through the current thread's barrier
+	// state, and every thread's barrier state — dead threads' included —
+	// is drained at each collection. Nil is the single-thread collector,
+	// byte-identical to pre-thread builds.
+	threads   *rt.ThreadSet
+	tscanners []*StackScanner // per-thread scanners, indexed by thread id
 
 	stats GCStats
 }
@@ -158,6 +191,10 @@ func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg
 	c.pretenureOn = cfg.Pretenure.Len() > 0
 	if cfg.Advisor != nil {
 		c.advPolicy = NewPretenurePolicy(nil)
+	}
+	if cfg.Workers > 1 {
+		c.tally = costmodel.NewWorkerTally(meter, cfg.Workers)
+		c.scanner.SetTally(c.tally)
 	}
 	c.nursery = heap.AddSpace(cfg.NurseryWords)
 	c.tenCap = c.initialTenCap()
@@ -183,6 +220,90 @@ func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg
 		c.scanner.SetRevisitOnMinor(true)
 	}
 	return c
+}
+
+// AttachThreads connects the simulated thread set: each existing and
+// future thread is equipped with its own barrier state (a private SSB,
+// or a private dirty-card stage over the shared card table), and root
+// scanning covers every live thread's stack. Must be called before the
+// first collection; thread 0 must wrap the collector's primary stack.
+func (c *Generational) AttachThreads(ts *rt.ThreadSet) {
+	if c.stats.NumGC > 0 {
+		panic("core: AttachThreads after a collection")
+	}
+	if ts.Thread(0).Stack() != c.stack {
+		panic("core: thread 0 does not own the collector's stack")
+	}
+	c.threads = ts
+	equip := func(t *rt.Thread) {
+		if c.cards != nil {
+			t.SetStage(rt.NewCardStage(c.cards))
+		} else if t.Stack() == c.stack {
+			t.SetSSB(c.ssb)
+		} else {
+			t.SetSSB(rt.NewSSB(c.meter))
+		}
+	}
+	for _, t := range ts.Threads() {
+		equip(t)
+	}
+	ts.OnSpawn(equip)
+}
+
+// threadScanner returns (creating on first use) the stack scanner for
+// one thread. Thread 0 reuses the primary scanner so its marker cache is
+// continuous with the pre-attach state.
+func (c *Generational) threadScanner(t *rt.Thread) *StackScanner {
+	id := t.ID()
+	for len(c.tscanners) <= id {
+		c.tscanners = append(c.tscanners, nil)
+	}
+	if c.tscanners[id] == nil {
+		if t.Stack() == c.stack {
+			c.tscanners[id] = c.scanner
+		} else {
+			sc := NewStackScanner(t.Stack(), c.meter, &c.stats, c.cfg.MarkerN)
+			sc.SetMarkerPolicy(c.cfg.MarkerPolicy)
+			sc.SetTally(c.tally)
+			if c.cfg.AgingMinors > 0 {
+				sc.SetRevisitOnMinor(true)
+			}
+			c.tscanners[id] = sc
+		}
+	}
+	return c.tscanners[id]
+}
+
+// noteCollection runs the per-collection scanner bookkeeping over every
+// live thread (depth statistics accumulate across threads).
+func (c *Generational) noteCollection() {
+	if c.threads == nil {
+		c.scanner.NoteCollection()
+		return
+	}
+	for _, t := range c.threads.Threads() {
+		if t.Dead() {
+			continue
+		}
+		c.threadScanner(t).NoteCollection()
+	}
+}
+
+// scanRoots scans every live thread's stack in thread-id order (just the
+// primary stack when no thread set is attached). Dead threads' stacks
+// are skipped: a joined thread's frames no longer keep anything alive.
+func (c *Generational) scanRoots(ev *evacuator, minor bool) {
+	if c.threads == nil {
+		c.scanner.Scan(minor, func(loc RootLoc) { c.forwardRootOn(ev, c.stack, loc) })
+		return
+	}
+	for _, t := range c.threads.Threads() {
+		if t.Dead() {
+			continue
+		}
+		st := t.Stack()
+		c.threadScanner(t).Scan(minor, func(loc RootLoc) { c.forwardRootOn(ev, st, loc) })
+	}
 }
 
 // isYoung reports whether space id is collected at every minor GC (the
@@ -226,7 +347,52 @@ func (c *Generational) Name() string {
 	if c.cfg.AgingMinors > 0 {
 		n += fmt.Sprintf("+aging%d", c.cfg.AgingMinors)
 	}
+	if c.cfg.Workers > 1 {
+		n += fmt.Sprintf("+gcw%d", c.cfg.Workers)
+	}
 	return n
+}
+
+// beginQ/endQ bracket one unit of parallel-phase work on the collector
+// side (remembered-set entries, pretenured-region objects); no-ops with
+// a nil tally.
+func (c *Generational) beginQ() {
+	if c.tally != nil {
+		c.tally.BeginQuantum()
+	}
+}
+
+func (c *Generational) endQ() {
+	if c.tally != nil {
+		c.tally.EndQuantum()
+	}
+}
+
+// chargeOverhead charges the fixed per-collection overhead: serially for
+// a single worker, split across workers otherwise — entering a parallel
+// collection forks the space preparation and bookkeeping across the
+// worker team, so the fixed cost genuinely shrinks on the wall clock
+// while the charged total is preserved exactly.
+func (c *Generational) chargeOverhead() {
+	if c.tally == nil {
+		c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
+		return
+	}
+	c.tally.ChargeSplit(costmodel.GCCopy, costmodel.GCOverhead)
+}
+
+// endParallelPhase closes a phase whose work is distributed over the
+// simulated workers: the tally's overlap is credited back to the meter
+// first (shrinking the phase's wall-clock delta to the critical path),
+// then the phase-end event records the per-worker tallies. Serial
+// collectors (nil tally) emit a plain phase end.
+func (c *Generational) endParallelPhase(p trace.Phase) {
+	if c.tally == nil {
+		c.tr.EndPhase(p)
+		return
+	}
+	workers := c.tally.ClosePhase()
+	c.tr.EndPhaseWorkers(p, workers)
 }
 
 // Heap implements Collector.
@@ -235,12 +401,21 @@ func (c *Generational) Heap() *mem.Heap { return c.heap }
 // Stats implements Collector.
 func (c *Generational) Stats() *GCStats { return &c.stats }
 
-// PointerUpdates returns the lifetime count of barriered pointer stores.
+// PointerUpdates returns the lifetime count of barriered pointer stores
+// (across every thread: card stages update the shared table's count, SSB
+// counts are summed per thread).
 func (c *Generational) PointerUpdates() uint64 {
 	if c.cards != nil {
 		return c.cards.TotalRecorded()
 	}
-	return c.ssb.TotalRecorded()
+	if c.threads == nil {
+		return c.ssb.TotalRecorded()
+	}
+	var n uint64
+	for _, t := range c.threads.Threads() {
+		n += t.SSB().TotalRecorded()
+	}
+	return n
 }
 
 // Alloc implements Collector. The common case — a small object from an
@@ -379,7 +554,17 @@ func (c *Generational) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
 	fa := obj.FieldAddr(c.heap, a, i)
 	c.heap.Store(fa, v)
 	if isPtr {
-		if c.cards != nil {
+		if c.threads != nil {
+			// Stores route through the running thread's private barrier
+			// state; the collector gathers every thread's state at the
+			// next collection.
+			t := c.threads.Current()
+			if c.cards != nil {
+				t.Stage().Record(fa)
+			} else {
+				t.SSB().Record(fa)
+			}
+		} else if c.cards != nil {
 			c.cards.Record(fa)
 		} else {
 			c.ssb.Record(fa)
@@ -411,7 +596,8 @@ func (c *Generational) Collect(major bool) {
 	if c.inGC {
 		panic("core: reentrant collection")
 	}
-	if major {
+	if major || c.pendingMajor {
+		c.pendingMajor = false
 		c.majorGC()
 	} else {
 		c.minorGC()
@@ -434,8 +620,8 @@ func (c *Generational) minorGC() {
 	}()
 	c.stats.NumGC++
 	c.tr.BeginPhase(trace.PhaseSetup)
-	c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
-	c.scanner.NoteCollection()
+	c.chargeOverhead()
+	c.noteCollection()
 	c.ensureTenured(c.nursery.Used() + c.agingUsed() + 64)
 
 	var condemned [2]mem.SpaceID
@@ -455,6 +641,7 @@ func (c *Generational) minorGC() {
 	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:ncond], c.ten, c.los)
 	ev.tr = c.tr
 	ev.tenuredID = c.ten.ID()
+	ev.tally = c.tally
 	var oldSticky []mem.Addr
 	if agingTo != nil {
 		ev.addDest(agingTo)
@@ -476,32 +663,40 @@ func (c *Generational) minorGC() {
 		}
 	}
 
-	c.tr.EndPhase(trace.PhaseSetup)
+	c.endParallelPhase(trace.PhaseSetup)
 
 	// Roots: the (possibly cached) stack scan, the remembered set from
 	// the write barrier, the sticky old-to-aging set, the pretenured
-	// regions, and fresh large objects.
+	// regions, and fresh large objects. With workers, the stack scan
+	// shards per frame (the scanner brackets each frame as one quantum):
+	// the register-status chain a frame inherits is the per-stacklet
+	// entry state §5's markers already cache, so frames scan
+	// independently once it is known.
 	c.tr.BeginPhase(trace.PhaseRoots)
-	c.scanner.Scan(true, func(loc RootLoc) { c.forwardRoot(ev, loc) })
-	c.tr.EndPhase(trace.PhaseRoots)
+	c.scanRoots(ev, true)
+	c.endParallelPhase(trace.PhaseRoots)
 	c.tr.BeginPhase(trace.PhaseRemSet)
 	for _, fa := range oldSticky {
+		c.beginQ()
 		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
 		c.forwardIfYoung(ev, fa, c.nursery.ID())
+		c.endQ()
 	}
 	c.processBarrier(ev)
-	c.tr.EndPhase(trace.PhaseRemSet)
+	c.endParallelPhase(trace.PhaseRemSet)
 	c.tr.BeginPhase(trace.PhasePretenured)
 	c.scanPretenuredRegions(ev)
 	for _, a := range c.los.Fresh() {
+		c.beginQ()
 		c.scanForYoung(ev, a)
+		c.endQ()
 	}
 	c.los.TakeFresh()
-	c.tr.EndPhase(trace.PhasePretenured)
+	c.endParallelPhase(trace.PhasePretenured)
 
 	c.tr.BeginPhase(trace.PhaseCopy)
 	ev.drain()
-	c.tr.EndPhase(trace.PhaseCopy)
+	c.endParallelPhase(trace.PhaseCopy)
 	if c.prof != nil {
 		c.prof.OnSpaceCondemned(c.nursery.ID())
 		c.prof.OnGCEnd()
@@ -516,7 +711,14 @@ func (c *Generational) minorGC() {
 	}
 
 	if c.ten.Used() > c.tenCap {
-		c.majorGC()
+		if c.cfg.DeferMajor {
+			// Bounded-pause mode: resume the mutator now; the major runs
+			// as its own pause at the next trigger (a major collects the
+			// nursery too, so the triggering allocation still succeeds).
+			c.pendingMajor = true
+		} else {
+			c.majorGC()
+		}
 	}
 }
 
@@ -543,23 +745,64 @@ func (c *Generational) processBarrier(ev *evacuator) {
 		// forwarding: promotions move the tenured frontier mid-drain, and
 		// interleaving the layout walk with copies would let a card
 		// spanning the frontier pick up newly promoted fields.
+		c.flushStages()
 		c.collectCardFieldAddrs()
 		for _, fa := range c.cardFAs {
+			c.beginQ()
 			c.forwardIfYoung(ev, fa, nid)
+			c.endQ()
 		}
 		c.cards.Drain()
 		return
 	}
-	c.ssb.DrainTo(func(fa mem.Addr) {
+	cb := func(fa mem.Addr) {
+		c.beginQ()
 		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
 		c.stats.SSBProcessed++
-		if c.isYoung(fa.Space()) {
-			// Update within a collected space: the object's copy (if
-			// live) is fully scanned during evacuation anyway.
-			return
+		if !c.isYoung(fa.Space()) {
+			// A young-space update needs no forwarding: the object's copy
+			// (if live) is fully scanned during evacuation anyway.
+			c.forwardIfYoung(ev, fa, nid)
 		}
-		c.forwardIfYoung(ev, fa, nid)
-	})
+		c.endQ()
+	}
+	if c.threads == nil {
+		c.ssb.DrainTo(cb)
+		return
+	}
+	// Every thread's buffer drains in thread-id order, dead threads'
+	// included: their stores were real pointer updates.
+	for _, t := range c.threads.Threads() {
+		t.SSB().DrainTo(cb)
+	}
+}
+
+// flushStages merges every thread's staged dirty cards into the shared
+// card table (no-op without threads: stores dirtied the table directly).
+func (c *Generational) flushStages() {
+	if c.threads == nil {
+		return
+	}
+	for _, t := range c.threads.Threads() {
+		t.Stage().Flush()
+	}
+}
+
+// dropBarrier discards all remembered-set state — every thread's — after
+// a major collection: no old-to-young pointers survive a full copy.
+func (c *Generational) dropBarrier() {
+	if c.cards != nil {
+		c.flushStages()
+		c.cards.Drain()
+		return
+	}
+	if c.threads == nil {
+		c.ssb.Drain()
+		return
+	}
+	for _, t := range c.threads.Threads() {
+		t.SSB().Drain()
+	}
 }
 
 // collectCardFieldAddrs expands dirty cards to the pointer-field
@@ -610,7 +853,11 @@ func (c *Generational) appendSpaceCardFAs(fas []mem.Addr, spid mem.SpaceID, card
 			hi = top
 		}
 		if hi > lo {
+			// One quantum per dirty card: card examination parallelizes
+			// card-by-card across the simulated workers.
+			c.beginQ()
 			c.meter.ChargeN(costmodel.GCCopy, costmodel.ScanPtrTest, hi-lo)
+			c.endQ()
 		}
 	}
 	if la, ok := c.los.ObjectIn(spid); ok {
@@ -704,11 +951,13 @@ func (c *Generational) scanPretenuredRegions(ev *evacuator) {
 		for off < r.end {
 			a := mem.MakeAddr(r.space, off)
 			o := obj.Decode(c.heap, a)
+			c.beginQ()
 			if d, ok := c.cfg.Pretenure.Lookup(o.Site); ok && d.OnlyOldRefs && c.cfg.ScanElision {
 				c.meter.Charge(costmodel.GCCopy, costmodel.ScanPtrTest)
 			} else {
 				c.scanForYoungObject(ev, o)
 			}
+			c.endQ()
 			off += o.SizeWords()
 		}
 	}
@@ -761,9 +1010,9 @@ func (c *Generational) majorGC() {
 		}()
 		c.stats.NumGC++
 		c.tr.BeginPhase(trace.PhaseSetup)
-		c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
-		c.scanner.NoteCollection()
-		c.tr.EndPhase(trace.PhaseSetup)
+		c.chargeOverhead()
+		c.noteCollection()
+		c.endParallelPhase(trace.PhaseSetup)
 	}
 	c.stats.NumMajor++
 
@@ -784,13 +1033,14 @@ func (c *Generational) majorGC() {
 	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:ncond], to, c.los)
 	ev.tr = c.tr
 	ev.tenuredID = toID
+	ev.tally = c.tally
 
 	c.tr.BeginPhase(trace.PhaseRoots)
-	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
-	c.tr.EndPhase(trace.PhaseRoots)
+	c.scanRoots(ev, false)
+	c.endParallelPhase(trace.PhaseRoots)
 	c.tr.BeginPhase(trace.PhaseCopy)
 	ev.drain()
-	c.tr.EndPhase(trace.PhaseCopy)
+	c.endParallelPhase(trace.PhaseCopy)
 	c.tr.BeginPhase(trace.PhaseSweep)
 	c.los.Sweep(c.prof)
 	c.tr.EndPhase(trace.PhaseSweep)
@@ -811,11 +1061,7 @@ func (c *Generational) majorGC() {
 	// The barrier's remembered set and the pretenured regions are stale
 	// and unnecessary: there are no old-to-young pointers after a full
 	// collection.
-	if c.cards != nil {
-		c.cards.Drain()
-	} else {
-		c.ssb.Drain()
-	}
+	c.dropBarrier()
 	c.pretenured.clear()
 
 	live := to.Used()
@@ -857,27 +1103,33 @@ func (c *Generational) updateMaxLive() {
 	}
 }
 
-// recordPause accumulates pause statistics for one collection event.
+// recordPause accumulates pause statistics for one collection event and
+// refreshes the lifetime parallel-work counters from the tally.
 func (c *Generational) recordPause(start costmodel.Cycles) {
 	pause := uint64(c.meter.GC() - start)
 	c.stats.SumPauseCycles += pause
 	if pause > c.stats.MaxPauseCycles {
 		c.stats.MaxPauseCycles = pause
 	}
+	if c.tally != nil {
+		c.stats.ParallelQuanta = c.tally.Quanta()
+		c.stats.WorkSteals = c.tally.Steals()
+	}
 }
 
-// forwardRoot forwards the pointer at a root location.
-func (c *Generational) forwardRoot(ev *evacuator, loc RootLoc) {
+// forwardRootOn forwards the pointer at a root location of one thread's
+// stack.
+func (c *Generational) forwardRootOn(ev *evacuator, st *rt.Stack, loc RootLoc) {
 	c.stats.RootsFound++
 	if loc.IsReg {
-		v := c.stack.Reg(loc.Index)
+		v := st.Reg(loc.Index)
 		if nv := ev.forward(v); nv != v {
-			c.stack.SetReg(loc.Index, nv)
+			st.SetReg(loc.Index, nv)
 		}
 		return
 	}
-	v := c.stack.RawSlot(loc.Index)
+	v := st.RawSlot(loc.Index)
 	if nv := ev.forward(v); nv != v {
-		c.stack.SetRawSlot(loc.Index, nv)
+		st.SetRawSlot(loc.Index, nv)
 	}
 }

@@ -54,6 +54,16 @@ type Inspection struct {
 
 	LargeObjectWords uint64
 	MarkerN          int
+
+	// Threads, when the run is multi-threaded, is the simulated thread
+	// set: every live thread's stack is a root source, and every thread's
+	// private barrier state (SSB or staged cards) is part of the
+	// remembered set. Nil for single-thread runs, where Stack/SSB/Cards
+	// carry the whole state.
+	Threads *rt.ThreadSet
+	// GCWorkers is the configured parallel-copy worker count (0 or 1
+	// means the serial collector: no overlap, no worker tallies).
+	GCWorkers int
 }
 
 // Inspectable is implemented by collectors that can expose their
@@ -84,6 +94,9 @@ func (c *Generational) Inspect() Inspection {
 
 		LargeObjectWords: c.cfg.LargeObjectWords,
 		MarkerN:          c.cfg.MarkerN,
+
+		Threads:   c.threads,
+		GCWorkers: c.cfg.Workers,
 	}
 	if c.aging != nil {
 		in.YoungSpaces = append(in.YoungSpaces, c.agA, c.agB)
@@ -112,5 +125,8 @@ func (c *Semispace) Inspect() Inspection {
 
 		LargeObjectWords: c.cfg.LargeObjectWords,
 		MarkerN:          c.cfg.MarkerN,
+
+		Threads:   c.threads,
+		GCWorkers: c.cfg.Workers,
 	}
 }

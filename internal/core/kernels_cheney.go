@@ -59,6 +59,12 @@ type evacuator struct {
 	// id 0 — the reserved nil space — means none, the semispace case).
 	tr        *trace.Recorder
 	tenuredID mem.SpaceID
+	// tally, when non-nil (W > 1), brackets each Cheney drain step as one
+	// work quantum for the simulated parallel workers. The work itself
+	// still executes in the canonical serial order — only the cycle
+	// accounting is sharded — so heap images are byte-identical at every
+	// worker count.
+	tally *costmodel.WorkerTally
 
 	scans    []spaceScan // Cheney frontiers, one per destination space
 	losQueue []mem.Addr  // marked large objects awaiting field scan
@@ -104,6 +110,20 @@ func (e *evacuator) begin(heap *mem.Heap, meter *costmodel.Meter, stats *GCStats
 // copied into it are Cheney-scanned like the primary to-space.
 func (e *evacuator) addDest(s *mem.Space) {
 	e.scans = append(e.scans, spaceScan{space: s, next: s.Used() + 1})
+}
+
+// beginQ/endQ bracket one unit of parallel-phase work; no-ops with a nil
+// tally (the single-worker case).
+func (e *evacuator) beginQ() {
+	if e.tally != nil {
+		e.tally.BeginQuantum()
+	}
+}
+
+func (e *evacuator) endQ() {
+	if e.tally != nil {
+		e.tally.EndQuantum()
+	}
 }
 
 // isCondemned reports whether space id is being collected this cycle.
@@ -177,9 +197,21 @@ func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
 			target.ID(), size, target.Used(), target.Capacity()))
 	}
 	copy(target.Raw()[dst.Offset():dst.Offset()+size], src[off:off+size])
-	src[off] = obj.PackForward(dst)
+	claimForward(src, off, dst)
 	e.finishCopy(dst, o, size)
 	return dst
+}
+
+// claimForward installs the forwarding pointer in the object's header
+// word. It is the parallel copy's claim-arbitration point: conceptually
+// every worker that reaches the object races a CAS on this word, the
+// lowest destination address wins, and ties are resolved by worker rank.
+// Because the simulator executes the canonical serial work order, the
+// single claim issued here is exactly the arbitrated winner, which is
+// what makes the copied heap image byte-identical at every worker count
+// (the reference kernel's obj.SetForward honors the same contract).
+func claimForward(src []uint64, off uint64, dst mem.Addr) {
+	src[off] = obj.PackForward(dst)
 }
 
 // finishCopy issues the metering, statistics, telemetry, and policy
@@ -236,6 +268,14 @@ func (e *evacuator) drain() {
 // space's raw arena, so the inner loop performs no per-word space lookup
 // and no Addr arithmetic.
 //
+// Quantum granularity is one pointer field, not one object: a field
+// forward can evacuate its target, and a single wide array (the server
+// workloads' session tables) would otherwise pull hundreds of
+// evacuations into one indivisible quantum and pin the whole subgraph's
+// copy cost on one worker. Field-level quanta are the simulated
+// equivalent of the array-splitting real parallel scavengers do — large
+// objects enter the shared frontier as chunks, not as a unit.
+//
 //gc:nobarrier frontier-scan kernel: it rewrites to-space fields during the stop-the-world scan that the barrier invariant is defined against
 func (e *evacuator) scanAt(sp *mem.Space, off uint64) uint64 {
 	words := sp.Raw()
@@ -243,18 +283,24 @@ func (e *evacuator) scanAt(sp *mem.Space, off uint64) uint64 {
 	k := obj.HeaderKind(hd)
 	length := obj.HeaderLen(hd)
 	size := obj.SizeWords(k, length)
+	e.beginQ()
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, size)
+	e.endQ()
 	switch k {
 	case obj.RawArray:
 	case obj.PtrArray:
 		base := off + 1
 		for i := uint64(0); i < length; i++ {
+			e.beginQ()
 			e.forwardWord(words, sp.ID(), base+i)
+			e.endQ()
 		}
 	case obj.Record:
 		base := off + 2
 		for mask := words[off+1]; mask != 0; mask &= mask - 1 {
+			e.beginQ()
 			e.forwardWord(words, sp.ID(), base+uint64(bits.TrailingZeros64(mask)))
+			e.endQ()
 		}
 	default:
 		panic(fmt.Sprintf("core: scanning %v object at %v", k, mem.MakeAddr(sp.ID(), off)))
@@ -284,18 +330,26 @@ func (e *evacuator) scanObject(a mem.Addr) {
 // scanDecoded forwards every pointer field of the decoded live object.
 // Record fields walk the pointer bitmap with a trailing-zeros scan, so the
 // cost is proportional to the number of pointer fields, not the arity.
+// Quanta are per field, matching scanAt (large objects in particular are
+// chunked across workers, not scanned as one unit).
 func (e *evacuator) scanDecoded(o obj.Object) {
+	e.beginQ()
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
+	e.endQ()
 	switch o.Kind {
 	case obj.RawArray:
 		return
 	case obj.PtrArray:
 		for i := uint64(0); i < o.Len; i++ {
+			e.beginQ()
 			e.forwardField(o.PayloadAddr(i))
+			e.endQ()
 		}
 	case obj.Record:
 		for mask := o.Mask; mask != 0; mask &= mask - 1 {
+			e.beginQ()
 			e.forwardField(o.PayloadAddr(uint64(bits.TrailingZeros64(mask))))
+			e.endQ()
 		}
 	default:
 		panic(fmt.Sprintf("core: scanning %v object at %v", o.Kind, o.Addr))

@@ -6,6 +6,7 @@ import (
 	"tilgc/internal/costmodel"
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
+	"tilgc/internal/rt"
 )
 
 // This file preserves the first-draft ("reference") copy/scan kernels
@@ -63,6 +64,9 @@ func (e *evacuator) refEvacuate(a mem.Addr) mem.Addr {
 			target.ID(), size, target.Used(), target.Capacity()))
 	}
 	e.heap.Copy(dst, a, size)
+	// Same claim-arbitration contract as claimForward in the optimized
+	// kernel: the serial order's single install is the lowest-address
+	// winner of the conceptual per-worker CAS race.
 	obj.SetForward(e.heap, a, dst)
 	e.finishCopy(dst, o, size)
 	return dst
@@ -70,22 +74,30 @@ func (e *evacuator) refEvacuate(a mem.Addr) mem.Addr {
 
 // refScanObject is the reference field scan: records walk every bit of the
 // pointer mask with a shift loop, visiting set bits in the same ascending
-// order as the optimized trailing-zeros scan.
+// order as the optimized trailing-zeros scan. Quantum placement — one for
+// the scan charge, one per pointer field — mirrors scanAt/scanDecoded
+// exactly, so the simulated worker schedule is kernel-independent.
 func (e *evacuator) refScanObject(a mem.Addr) {
 	o := obj.Decode(e.heap, a)
+	e.beginQ()
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.ScanWord, o.SizeWords())
+	e.endQ()
 	switch o.Kind {
 	case obj.RawArray:
 		return
 	case obj.PtrArray:
 		for i := uint64(0); i < o.Len; i++ {
+			e.beginQ()
 			e.forwardField(o.PayloadAddr(i))
+			e.endQ()
 		}
 	case obj.Record:
 		mask := o.Mask
 		for i := uint64(0); mask != 0; i++ {
 			if mask&1 == 1 {
+				e.beginQ()
 				e.forwardField(o.PayloadAddr(i))
+				e.endQ()
 			}
 			mask >>= 1
 		}
@@ -100,23 +112,38 @@ func (e *evacuator) refScanObject(a mem.Addr) {
 func (c *Generational) refProcessBarrier(ev *evacuator) {
 	nid := c.nursery.ID()
 	if c.cards != nil {
+		c.flushStages()
 		for _, fa := range c.refCardFieldAddrs() {
+			c.beginQ()
 			c.forwardIfYoung(ev, fa, nid)
+			c.endQ()
 		}
 		c.cards.Drain()
 		return
 	}
-	for _, fa := range c.ssb.Entries() {
-		c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
-		c.stats.SSBProcessed++
-		if c.isYoung(fa.Space()) {
-			// Update within a collected space: the object's copy (if
-			// live) is fully scanned during evacuation anyway.
-			continue
+	drain := func(b *rt.SSB) {
+		for _, fa := range b.Entries() {
+			c.beginQ()
+			c.meter.Charge(costmodel.GCCopy, costmodel.SSBEntry)
+			c.stats.SSBProcessed++
+			if !c.isYoung(fa.Space()) {
+				// A young-space update needs no forwarding: the object's copy
+				// (if live) is fully scanned during evacuation anyway.
+				c.forwardIfYoung(ev, fa, nid)
+			}
+			c.endQ()
 		}
-		c.forwardIfYoung(ev, fa, nid)
+		b.Drain()
 	}
-	c.ssb.Drain()
+	if c.threads == nil {
+		drain(c.ssb)
+		return
+	}
+	// Thread-id order, dead threads included — same contract as the
+	// optimized drain.
+	for _, t := range c.threads.Threads() {
+		drain(t.SSB())
+	}
 }
 
 // refCardFieldAddrs expands dirty cards to the pointer-field addresses

@@ -29,6 +29,10 @@ type SemispaceConfig struct {
 	MarkerN int
 	// InitialWords sizes the first semispace; zero picks a small default.
 	InitialWords uint64
+	// Workers > 1 enables the deterministic parallel copying phases (see
+	// GenConfig.Workers): identical serial work order, cycles sharded
+	// over W simulated workers. Zero or 1 is the serial collector.
+	Workers int
 	// Trace, when non-nil, receives phase spans and per-site telemetry.
 	// Tracing charges nothing to the meter.
 	Trace *trace.Recorder
@@ -65,7 +69,16 @@ type Semispace struct {
 	idB     mem.SpaceID
 	cur     *mem.Space // allocation space
 	ev      evacuator  // pooled across collections (see evacuator.begin)
-	stats   GCStats
+	// tally shards parallel-phase cycles over simulated workers (nil for
+	// W <= 1; see costmodel.WorkerTally).
+	tally *costmodel.WorkerTally
+	// threads, when non-nil, is the simulated mutator thread set: every
+	// live thread's stack is a root source with its own scanner. The
+	// semispace collector has no write barrier, so threads carry no
+	// barrier state here. Nil is the single-thread collector.
+	threads   *rt.ThreadSet
+	tscanners []*StackScanner // per-thread scanners, indexed by thread id
+	stats     GCStats
 }
 
 // NewSemispace creates a semispace collector over its own fresh heap.
@@ -85,15 +98,109 @@ func NewSemispace(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg Se
 	b := heap.AddSpace(0)
 	c.idA, c.idB = a.ID(), b.ID()
 	c.cur = a
+	if cfg.Workers > 1 {
+		c.tally = costmodel.NewWorkerTally(meter, cfg.Workers)
+		c.scanner.SetTally(c.tally)
+	}
 	return c
+}
+
+// AttachThreads connects the simulated thread set: root scanning covers
+// every live thread's stack. Must be called before the first collection;
+// thread 0 must wrap the collector's primary stack. No barrier state is
+// attached — the semispace collector has no write barrier.
+func (c *Semispace) AttachThreads(ts *rt.ThreadSet) {
+	if c.stats.NumGC > 0 {
+		panic("core: AttachThreads after a collection")
+	}
+	if ts.Thread(0).Stack() != c.stack {
+		panic("core: thread 0 does not own the collector's stack")
+	}
+	c.threads = ts
+}
+
+// threadScanner returns (creating on first use) the stack scanner for one
+// thread; thread 0 reuses the primary scanner.
+func (c *Semispace) threadScanner(t *rt.Thread) *StackScanner {
+	id := t.ID()
+	for len(c.tscanners) <= id {
+		c.tscanners = append(c.tscanners, nil)
+	}
+	if c.tscanners[id] == nil {
+		if t.Stack() == c.stack {
+			c.tscanners[id] = c.scanner
+		} else {
+			sc := NewStackScanner(t.Stack(), c.meter, &c.stats, c.cfg.MarkerN)
+			sc.SetTally(c.tally)
+			c.tscanners[id] = sc
+		}
+	}
+	return c.tscanners[id]
+}
+
+// noteCollection runs the per-collection scanner bookkeeping over every
+// live thread.
+func (c *Semispace) noteCollection() {
+	if c.threads == nil {
+		c.scanner.NoteCollection()
+		return
+	}
+	for _, t := range c.threads.Threads() {
+		if t.Dead() {
+			continue
+		}
+		c.threadScanner(t).NoteCollection()
+	}
+}
+
+// scanRoots scans every live thread's stack in thread-id order (just the
+// primary stack when no thread set is attached).
+func (c *Semispace) scanRoots(ev *evacuator) {
+	if c.threads == nil {
+		c.scanner.Scan(false, func(loc RootLoc) { c.forwardRootOn(ev, c.stack, loc) })
+		return
+	}
+	for _, t := range c.threads.Threads() {
+		if t.Dead() {
+			continue
+		}
+		st := t.Stack()
+		c.threadScanner(t).Scan(false, func(loc RootLoc) { c.forwardRootOn(ev, st, loc) })
+	}
 }
 
 // Name implements Collector.
 func (c *Semispace) Name() string {
+	n := "semispace"
 	if c.cfg.MarkerN > 0 {
-		return "semispace+markers"
+		n += "+markers"
 	}
-	return "semispace"
+	if c.cfg.Workers > 1 {
+		n += fmt.Sprintf("+gcw%d", c.cfg.Workers)
+	}
+	return n
+}
+
+// chargeOverhead charges the fixed per-collection overhead, split across
+// the simulated workers when there is more than one (see
+// Generational.chargeOverhead).
+func (c *Semispace) chargeOverhead() {
+	if c.tally == nil {
+		c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
+		return
+	}
+	c.tally.ChargeSplit(costmodel.GCCopy, costmodel.GCOverhead)
+}
+
+// endParallelPhase closes a worker-distributed phase (see
+// Generational.endParallelPhase).
+func (c *Semispace) endParallelPhase(p trace.Phase) {
+	if c.tally == nil {
+		c.tr.EndPhase(p)
+		return
+	}
+	workers := c.tally.ClosePhase()
+	c.tr.EndPhaseWorkers(p, workers)
 }
 
 // Heap implements Collector.
@@ -150,10 +257,18 @@ func (c *Semispace) allocSlow(k obj.Kind, length uint64, site obj.SiteID, mask u
 		c.cur = c.heap.GrowSpace(c.cur.ID(), c.cur.Capacity()+size+1024)
 		a, ok = obj.Alloc(c.heap, c.cur, k, length, site, mask)
 		if !ok {
-			panic(fmt.Sprintf("core: semispace emergency growth failed: need %d words", size))
+			panic(semispaceGrowthFailure(c.cur, size))
 		}
 	}
 	return a
+}
+
+// semispaceGrowthFailure builds the panic value for an emergency growth
+// that still could not satisfy a size-word allocation, reporting the
+// space id, used words, and requested words — the same fields, in the
+// same shape, as mem.GrowSpace's below-used failure.
+func semispaceGrowthFailure(sp *mem.Space, size uint64) mem.GrowthError {
+	return mem.GrowthError{Op: "semispace emergency growth failed", Space: sp.ID(), Used: sp.Used(), Requested: size}
 }
 
 func (c *Semispace) chargeAlloc(k obj.Kind, size uint64) {
@@ -209,13 +324,17 @@ func (c *Semispace) Collect(bool) {
 		if pause > c.stats.MaxPauseCycles {
 			c.stats.MaxPauseCycles = pause
 		}
+		if c.tally != nil {
+			c.stats.ParallelQuanta = c.tally.Quanta()
+			c.stats.WorkSteals = c.tally.Steals()
+		}
 		c.sampleHeap()
 		c.tr.EndGC(gcCounters(&statsBefore, &c.stats))
 	}()
 	c.stats.NumGC++
 	c.tr.BeginPhase(trace.PhaseSetup)
-	c.meter.Charge(costmodel.GCCopy, costmodel.GCOverhead)
-	c.scanner.NoteCollection()
+	c.chargeOverhead()
+	c.noteCollection()
 	c.los.ClearMarks()
 
 	fromID, toID := c.idA, c.idB
@@ -231,14 +350,18 @@ func (c *Semispace) Collect(bool) {
 	condemned := [1]mem.SpaceID{fromID}
 	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:], to, c.los)
 	ev.tr = c.tr
-	c.tr.EndPhase(trace.PhaseSetup)
+	ev.tally = c.tally
+	c.endParallelPhase(trace.PhaseSetup)
 
+	// With workers, the root scan shards per frame: each frame's quantum
+	// covers its decode, root visits, and the evacuations they trigger
+	// (the scanner brackets them — see StackScanner.SetTally).
 	c.tr.BeginPhase(trace.PhaseRoots)
-	c.scanner.Scan(false, func(loc RootLoc) { c.forwardRoot(ev, loc) })
-	c.tr.EndPhase(trace.PhaseRoots)
+	c.scanRoots(ev)
+	c.endParallelPhase(trace.PhaseRoots)
 	c.tr.BeginPhase(trace.PhaseCopy)
 	ev.drain()
-	c.tr.EndPhase(trace.PhaseCopy)
+	c.endParallelPhase(trace.PhaseCopy)
 	c.tr.BeginPhase(trace.PhaseSweep)
 	c.los.Sweep(c.prof)
 	c.tr.EndPhase(trace.PhaseSweep)
@@ -284,18 +407,19 @@ func (c *Semispace) semispaceShare() uint64 {
 	return (c.cfg.BudgetWords - losWords) / 2
 }
 
-// forwardRoot forwards the pointer stored at a root location.
-func (c *Semispace) forwardRoot(ev *evacuator, loc RootLoc) {
+// forwardRootOn forwards the pointer stored at a root location of one
+// thread's stack.
+func (c *Semispace) forwardRootOn(ev *evacuator, st *rt.Stack, loc RootLoc) {
 	c.stats.RootsFound++
 	if loc.IsReg {
-		v := c.stack.Reg(loc.Index)
+		v := st.Reg(loc.Index)
 		if nv := ev.forward(v); nv != v {
-			c.stack.SetReg(loc.Index, nv)
+			st.SetReg(loc.Index, nv)
 		}
 		return
 	}
-	v := c.stack.RawSlot(loc.Index)
+	v := st.RawSlot(loc.Index)
 	if nv := ev.forward(v); nv != v {
-		c.stack.SetRawSlot(loc.Index, nv)
+		st.SetRawSlot(loc.Index, nv)
 	}
 }

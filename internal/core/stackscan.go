@@ -54,6 +54,16 @@ type StackScanner struct {
 	// frames by storing the decoded results".
 	revisitOnMinor bool
 
+	// tally, when non-nil (W ≥ 2), brackets each frame's scan — decode,
+	// root visits, and any evacuations they trigger — as one parallel
+	// work quantum. The scan still executes in the canonical serial
+	// order; only the cycle accounting is sharded. The frame is the
+	// natural unit: the register-status chain each frame inherits is
+	// exactly the per-frame entry state a parallel collector caches at
+	// stacklet boundaries (the markers of §5), so frames scan
+	// independently once that state is known.
+	tally *costmodel.WorkerTally
+
 	cache       []frameCache
 	keyBuf      []rt.RetKey // pass-1 scratch, pooled across scans
 	lastPushCnt uint64      // stack.FramePushes() at the previous scan
@@ -75,6 +85,25 @@ type frameCache struct {
 // stack markers (the baseline configuration).
 func NewStackScanner(stack *rt.Stack, meter *costmodel.Meter, stats *GCStats, markerN int) *StackScanner {
 	return &StackScanner{stack: stack, meter: meter, stats: stats, markerN: markerN}
+}
+
+// SetTally attaches the parallel-worker tally (nil for the serial
+// collector). With a tally, every meter charge the scan issues lands
+// inside a quantum, so the roots phase reconciles as a parallel phase.
+func (sc *StackScanner) SetTally(t *costmodel.WorkerTally) { sc.tally = t }
+
+// beginQ/endQ bracket one unit of parallel root-scan work; no-ops with a
+// nil tally.
+func (sc *StackScanner) beginQ() {
+	if sc.tally != nil {
+		sc.tally.BeginQuantum()
+	}
+}
+
+func (sc *StackScanner) endQ() {
+	if sc.tally != nil {
+		sc.tally.EndQuantum()
+	}
 }
 
 // NoteCollection records the Table 2 depth and new-frame statistics for
@@ -112,7 +141,9 @@ func (sc *StackScanner) Scan(minor bool, visit func(RootLoc)) {
 	// Determine the reusable prefix [0, reuse).
 	reuse := 0
 	if sc.markerN > 0 {
+		sc.beginQ()
 		sc.meter.Charge(costmodel.GCStack, costmodel.WatermarkCheck)
+		sc.endQ()
 		b := sc.stack.ReuseBoundary()
 		reuse = b // frames 0..b-1 are unchanged
 		if reuse < 0 {
@@ -136,15 +167,20 @@ func (sc *StackScanner) Scan(minor bool, visit func(RootLoc)) {
 		if minor && !sc.revisitOnMinor {
 			// Immediate promotion: reused frames contribute no nursery
 			// roots at a minor collection.
+			sc.beginQ()
 			sc.meter.ChargeN(costmodel.GCStack, costmodel.FrameReuse, uint64(reuse))
+			sc.endQ()
 		} else {
-			// Major collection: re-trace the cached root locations.
+			// Major collection: re-trace the cached root locations, one
+			// quantum per reused frame.
 			for i := 0; i < reuse; i++ {
+				sc.beginQ()
 				sc.meter.Charge(costmodel.GCStack, costmodel.FrameReuse)
 				for _, idx := range sc.cache[i].roots {
 					sc.meter.Charge(costmodel.GCStack, costmodel.CachedRoot)
 					visit(RootLoc{Index: idx})
 				}
+				sc.endQ()
 			}
 		}
 	}
@@ -169,16 +205,21 @@ func (sc *StackScanner) Scan(minor bool, visit func(RootLoc)) {
 		}
 	}
 
-	// Pass 2: oldest→newest over the non-reused suffix.
+	// Pass 2: oldest→newest over the non-reused suffix, one quantum per
+	// decoded frame (the decode, its root visits, and the evacuations
+	// those visits trigger all belong to the frame's worker).
 	sc.cache = sc.cache[:reuse]
 	for i := reuse; i < depth; i++ {
+		sc.beginQ()
 		regStatus = sc.decodeFrame(i, keys[i], regStatus, visit)
+		sc.endQ()
 	}
 
 	// Registers of the current execution point are always roots when the
 	// trace information says so.
 	table := sc.stack.Table()
 	if depth > 0 {
+		sc.beginQ()
 		fi := table.Lookup(sc.stack.CurrentKey())
 		for r := 0; r < rt.NumRegs; r++ {
 			sc.meter.Charge(costmodel.GCStack, costmodel.SlotTrace)
@@ -187,6 +228,7 @@ func (sc *StackScanner) Scan(minor bool, visit func(RootLoc)) {
 				visit(RootLoc{IsReg: true, Index: r})
 			}
 		}
+		sc.endQ()
 	}
 
 	// Place markers for the next collection.
@@ -225,7 +267,9 @@ func (sc *StackScanner) SetRevisitOnMinor(v bool) { sc.revisitOnMinor = v }
 
 func (sc *StackScanner) placeMarker(i int) {
 	if sc.stack.PlaceMarker(i) {
+		sc.beginQ()
 		sc.meter.Charge(costmodel.GCStack, costmodel.MarkerPlace)
+		sc.endQ()
 		sc.stats.MarkersPlaced++
 	}
 }

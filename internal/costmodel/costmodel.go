@@ -109,8 +109,16 @@ func (c Component) String() string {
 }
 
 // Meter accumulates charged cycles by component.
+//
+// The buckets hold *wall-clock* cycles: when a parallel collection phase
+// overlaps worker cycles (see WorkerTally), the hidden cycles are moved
+// out of the GC buckets into the overlap counter, so GC() and Total()
+// read as elapsed simulated time while Total()+Overlap() remains the
+// honest sum-of-all-workers cost. With one worker the overlap counter
+// stays zero and the meter behaves exactly as before.
 type Meter struct {
 	buckets [numComponents]Cycles
+	overlap Cycles
 }
 
 // NewMeter returns a zeroed meter.
@@ -133,8 +141,25 @@ func (m *Meter) GC() Cycles { return m.buckets[GCStack] + m.buckets[GCCopy] }
 // Total returns all charged cycles.
 func (m *Meter) Total() Cycles { return m.buckets[Client] + m.GC() + m.buckets[Adapt] }
 
+// Overlap returns the collector cycles hidden by parallel workers: work
+// that was charged to the GC buckets but executed concurrently with the
+// critical path, so it does not appear in GC()/Total() wall time. The
+// honest total cost of a run is Total()+Overlap(). Always zero for
+// single-worker collections.
+func (m *Meter) Overlap() Cycles { return m.overlap }
+
+// creditOverlap moves cycles out of the wall-clock GC buckets into the
+// overlap counter. Callers (WorkerTally.ClosePhase) guarantee the
+// deducted amounts were charged within the same phase, so the buckets
+// never go below any previously snapshotted value.
+func (m *Meter) creditOverlap(stack, copied Cycles) {
+	m.buckets[GCStack] -= stack
+	m.buckets[GCCopy] -= copied
+	m.overlap += stack + copied
+}
+
 // Reset zeroes the meter.
-func (m *Meter) Reset() { m.buckets = [numComponents]Cycles{} }
+func (m *Meter) Reset() { m.buckets = [numComponents]Cycles{}; m.overlap = 0 }
 
 // Snapshot returns a copy of the current bucket values.
 func (m *Meter) Snapshot() Breakdown {

@@ -17,29 +17,61 @@ import (
 // configuration in the matrix.
 type interp struct {
 	col   core.Collector
-	stack *rt.Stack
+	stack *rt.Stack // the current thread's stack
 	meter *costmodel.Meter
 	fi    *rt.FrameInfo
 
-	depth    int   // simulated frames (>= 1: the base frame stays)
-	handlers []int // mirror of the handler chain: owning frame depth
+	depth    int   // current thread's simulated frames (>= 1: the base frame stays)
+	handlers []int // mirror of the current thread's handler chain: owning frame depth
+
+	// threads is nil for programs without thread ops, which therefore run
+	// the exact single-thread code paths. states holds each suspended
+	// thread's interpreter state by id (the current thread's entry is
+	// stale while it runs); curID names the running thread.
+	threads *rt.ThreadSet
+	states  []threadState
+	curID   int
 
 	checksum uint64
 }
 
+// threadState is the interpreter state of one suspended thread: its
+// simulated call depth and its handler-chain mirror. The stack itself
+// lives in the rt.Thread.
+type threadState struct {
+	depth    int
+	handlers []int
+}
+
 // newInterp builds the runtime for one run: fresh trace table, stack,
 // and the uniform all-pointer fuzz frame, with the base frame pushed.
-func newInterp(col core.Collector, stack *rt.Stack, table *rt.TraceTable, meter *costmodel.Meter) *interp {
+// threads is non-nil only for programs with thread ops; the caller has
+// already attached it to the collector.
+func newInterp(col core.Collector, stack *rt.Stack, table *rt.TraceTable, meter *costmodel.Meter, threads *rt.ThreadSet) *interp {
 	slots := make([]rt.SlotTrace, NumRoots+1)
 	slots[0] = rt.NP()
 	for i := 1; i <= NumRoots; i++ {
 		slots[i] = rt.PTR()
 	}
 	fi := table.Register("fuzz", slots, nil)
-	in := &interp{col: col, stack: stack, meter: meter, fi: fi, checksum: fnvOffset}
+	in := &interp{col: col, stack: stack, meter: meter, fi: fi, threads: threads, checksum: fnvOffset}
 	stack.Call(fi)
 	in.depth = 1
+	if threads != nil {
+		in.states = []threadState{{depth: 1}}
+	}
 	return in
+}
+
+// switchTo suspends the current thread's interpreter state and resumes
+// thread id's. The caller has checked the target is live and different.
+func (in *interp) switchTo(id int) {
+	in.states[in.curID] = threadState{depth: in.depth, handlers: in.handlers}
+	t := in.threads.SetCurrent(id)
+	in.curID = id
+	in.stack = t.Stack()
+	in.depth = in.states[id].depth
+	in.handlers = in.states[id].handlers
 }
 
 // fold mixes a value into the running client checksum (FNV-1a over
@@ -231,6 +263,46 @@ func (in *interp) step(op Op) {
 		in.walk(op)
 	case OpWork:
 		in.meter.ChargeN(costmodel.Client, costmodel.ClientWork, op.V%997)
+	case OpSpawn:
+		if in.threads == nil || in.threads.Len() >= MaxThreads {
+			return
+		}
+		// Read the spawner's roots before creating the thread; no
+		// allocation intervenes before they are written into the new base
+		// frame, so the pointers cannot go stale.
+		var vals [NumRoots]uint64
+		for i := 0; i < NumRoots; i++ {
+			vals[i] = in.stack.Slot(i + 1)
+		}
+		t := in.threads.Spawn()
+		st := t.Stack()
+		st.Call(in.fi)
+		for i, v := range vals {
+			st.SetSlot(i+1, v)
+		}
+		in.states = append(in.states, threadState{depth: 1})
+		in.fold(0x5a00 | uint64(t.ID()))
+	case OpSwitch:
+		if in.threads == nil {
+			return
+		}
+		id := int(op.A) % in.threads.Len()
+		t := in.threads.Thread(id)
+		if t.Dead() || id == in.curID {
+			return
+		}
+		in.switchTo(id)
+		in.fold(0x5c00 | uint64(id))
+	case OpJoin:
+		if in.threads == nil {
+			return
+		}
+		id := int(op.A) % in.threads.Len()
+		if id == 0 || id == in.curID || in.threads.Thread(id).Dead() {
+			return
+		}
+		in.threads.Join(id)
+		in.fold(0x5d00 | uint64(id))
 	}
 }
 
@@ -302,14 +374,32 @@ func (in *interp) walk(op Op) {
 
 // ---- Client-visible heap fingerprint ----------------------------------------
 
+// rootStacks lists the stacks whose slots are client-visible roots: the
+// primary stack alone for thread-free programs, otherwise every live
+// thread's stack in thread-id order (a joined thread's stack stops
+// being a root source, so its private garbage is legitimately dead).
+func rootStacks(primary *rt.Stack, ts *rt.ThreadSet) []*rt.Stack {
+	if ts == nil {
+		return []*rt.Stack{primary}
+	}
+	var out []*rt.Stack
+	for _, t := range ts.Threads() {
+		if !t.Dead() {
+			out = append(out, t.Stack())
+		}
+	}
+	return out
+}
+
 // fingerprint hashes the client-visible heap: a BFS over the object
-// graph from every root slot of every frame, visiting objects in
-// first-discovery order and naming them by canonical id. The hash
-// covers graph shape (which canonical object each pointer field names),
-// object kind/arity/site/mask, aux bytes, and raw field values — and
-// deliberately excludes addresses, space ids, and the collector-owned
-// age byte, which legitimately differ across configurations.
-func fingerprint(col core.Collector, stack *rt.Stack) uint64 {
+// graph from every root slot of every frame of every given stack,
+// visiting objects in first-discovery order and naming them by
+// canonical id. The hash covers graph shape (which canonical object
+// each pointer field names), object kind/arity/site/mask, aux bytes,
+// and raw field values — and deliberately excludes addresses, space
+// ids, and the collector-owned age byte, which legitimately differ
+// across configurations.
+func fingerprint(col core.Collector, stacks []*rt.Stack) uint64 {
 	type queued struct{ a mem.Addr }
 	h := col.Heap()
 	ids := make(map[mem.Addr]uint64)
@@ -329,12 +419,14 @@ func fingerprint(col core.Collector, stack *rt.Stack) uint64 {
 		return id
 	}
 
-	// Roots in (frame, slot) order. Every fuzz frame has the same
+	// Roots in (stack, frame, slot) order. Every fuzz frame has the same
 	// layout: slot 0 is the return key, slots 1..NumRoots are pointers.
-	for f := 0; f < stack.FrameCount(); f++ {
-		base := stack.FrameBase(f)
-		for s := 1; s <= NumRoots; s++ {
-			fold(visit(mem.Addr(stack.RawSlot(base + s))))
+	for _, stack := range stacks {
+		for f := 0; f < stack.FrameCount(); f++ {
+			base := stack.FrameBase(f)
+			for s := 1; s <= NumRoots; s++ {
+				fold(visit(mem.Addr(stack.RawSlot(base + s))))
+			}
 		}
 	}
 

@@ -26,6 +26,11 @@ const (
 	ProfileServer
 	// ProfileMixed draws every op uniformly.
 	ProfileMixed
+	// ProfileThreads stresses the simulated thread set: spawns, switches,
+	// and joins interleaved with cross-thread heap traffic, so every
+	// thread's private barrier state and stack roots get exercised — and
+	// joined threads leave barrier records behind that must still drain.
+	ProfileThreads
 
 	numProfiles
 )
@@ -45,6 +50,8 @@ func (p Profile) String() string {
 		return "server"
 	case ProfileMixed:
 		return "mixed"
+	case ProfileThreads:
+		return "threads"
 	}
 	return "profile?"
 }
@@ -159,6 +166,14 @@ var profileWeights = [numProfiles][]weighted{
 		{OpDrop, 5}, {OpDup, 5}, {OpCollect, 5},
 		{OpCall, 6}, {OpReturn, 5}, {OpPushHandler, 3}, {OpRaise, 2},
 		{OpSetAux, 3}, {OpGetAux, 3}, {OpWalk, 4}, {OpWork, 3},
+		{OpSpawn, 2}, {OpSwitch, 3}, {OpJoin, 1},
+	},
+	ProfileThreads: {
+		{OpSpawn, 6}, {OpSwitch, 16}, {OpJoin, 3},
+		{OpAllocRecord, 14}, {OpAllocPtrArray, 4},
+		{OpStorePtr, 10}, {OpStoreInt, 3}, {OpLoadPtr, 5}, {OpLoadInt, 3},
+		{OpCall, 5}, {OpReturn, 4}, {OpPushHandler, 2}, {OpRaise, 2},
+		{OpDrop, 5}, {OpDup, 4}, {OpCollect, 6}, {OpWalk, 3}, {OpWork, 4},
 	},
 }
 

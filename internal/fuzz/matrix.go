@@ -38,6 +38,11 @@ type Config struct {
 	Pretenure bool
 	// Adapt attaches the online pretenuring advisor.
 	Adapt bool
+	// Workers enables the deterministic parallel copying phases with
+	// this worker count (0 or 1 is serial). Parallelism is accounting-
+	// only, so the divergence oracle proves every client-visible result
+	// is worker-count-invariant, and run-twice pins the sharded trace.
+	Workers int
 
 	// wrap, when non-nil, decorates the freshly-built collector before
 	// the program runs. It exists for the broken-collector injection
@@ -62,6 +67,9 @@ func Matrix() []Config {
 		{Name: "gen+aging+cards", AgingMinors: fuzzAgingMinors, Cards: true},
 		{Name: "gen+adapt", Adapt: true},
 		{Name: "gen+markers+adapt", MarkerN: fuzzMarkerN, Adapt: true},
+		{Name: "semispace+w4", Semispace: true, Workers: 4},
+		{Name: "gen+w4", Workers: 4},
+		{Name: "gen+markers+w2", MarkerN: fuzzMarkerN, Workers: 2},
 	}
 }
 

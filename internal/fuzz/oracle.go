@@ -106,14 +106,17 @@ func execute(p *Program, cfg Config, traced, sanitized bool) (out runOutput) {
 
 	budget := budgetFor(p)
 	var col core.Collector
+	var attachThreads func(*rt.ThreadSet)
 	if cfg.Semispace {
-		col = core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
+		s := core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
 			BudgetWords:      budget,
 			LargeObjectWords: largeObjectWords,
 			MarkerN:          cfg.MarkerN,
 			InitialWords:     nurseryWords * 4,
+			Workers:          cfg.Workers,
 			Trace:            rec,
 		})
+		col, attachThreads = s, s.AttachThreads
 	} else {
 		gcfg := core.GenConfig{
 			BudgetWords:      budget,
@@ -122,6 +125,7 @@ func execute(p *Program, cfg Config, traced, sanitized bool) (out runOutput) {
 			MarkerN:          cfg.MarkerN,
 			AgingMinors:      cfg.AgingMinors,
 			UseCardTable:     cfg.Cards,
+			Workers:          cfg.Workers,
 			Trace:            rec,
 		}
 		if cfg.Pretenure {
@@ -130,7 +134,17 @@ func execute(p *Program, cfg Config, traced, sanitized bool) (out runOutput) {
 		if engine != nil {
 			gcfg.Advisor = engine
 		}
-		col = core.NewGenerational(stack, meter, profHook, gcfg)
+		g := core.NewGenerational(stack, meter, profHook, gcfg)
+		col, attachThreads = g, g.AttachThreads
+	}
+	// Programs that touch the thread machine get a ThreadSet, attached
+	// before any allocation so the collector routes barriers and root
+	// scans through it from the first collection; thread-free programs
+	// keep the exact single-thread code paths.
+	var threads *rt.ThreadSet
+	if p.HasThreadOps() {
+		threads = rt.NewThreadSet(stack, meter)
+		attachThreads(threads)
 	}
 	if cfg.wrap != nil {
 		col = cfg.wrap(col)
@@ -145,7 +159,7 @@ func execute(p *Program, cfg Config, traced, sanitized bool) (out runOutput) {
 		})
 	}
 
-	in := newInterp(col, stack, table, meter)
+	in := newInterp(col, stack, table, meter, threads)
 	in.run(p)
 
 	if profiler != nil {
@@ -154,7 +168,7 @@ func execute(p *Program, cfg Config, traced, sanitized bool) (out runOutput) {
 	if engine != nil {
 		engine.Seal()
 	}
-	out.fp = fingerprint(col, stack)
+	out.fp = fingerprint(col, rootStacks(stack, threads))
 	out.checksum = in.checksum
 	out.stats = *col.Stats()
 	if rec != nil {

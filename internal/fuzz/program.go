@@ -53,6 +53,9 @@ const (
 	NumSites = 6
 	// MaxWalkSteps bounds an OpWalk traversal.
 	MaxWalkSteps = 64
+	// MaxThreads bounds the simulated thread set a program may spawn
+	// (thread 0, the primary, counts toward the cap).
+	MaxThreads = 8
 )
 
 // OpKind enumerates the operations of the fuzz program machine.
@@ -107,6 +110,18 @@ const (
 	OpWalk
 	// OpWork charges abstract mutator computation derived from V.
 	OpWork
+	// OpSpawn spawns a new mutator thread (no-op at the MaxThreads cap),
+	// seeding its base frame with the current thread's roots. The new
+	// thread is not made current.
+	OpSpawn
+	// OpSwitch switches execution to thread A mod the threads ever
+	// created (no-op when the target is dead or already current).
+	OpSwitch
+	// OpJoin joins thread A mod the threads ever created (no-op on the
+	// primary thread, the current thread, or an already-dead thread). A
+	// joined thread's stack stops being a root source; its barrier state
+	// still drains at the next collection.
+	OpJoin
 
 	numOpKinds
 )
@@ -118,6 +133,7 @@ var opNames = [numOpKinds]string{
 	"drop", "dup", "collect",
 	"call", "return", "push-handler", "raise",
 	"set-aux", "get-aux", "walk", "work",
+	"spawn", "switch", "join",
 }
 
 // String returns the corpus-file spelling of the op kind.
@@ -158,6 +174,19 @@ func (o Op) site() obj.SiteID { return obj.SiteID(1 + o.B%NumSites) }
 
 // root reduces a raw operand to a root slot index (1..NumRoots).
 func root(x uint16) int { return 1 + int(x)%NumRoots }
+
+// HasThreadOps reports whether the program ever touches the thread
+// machine. The interpreter builds a ThreadSet only for programs that do,
+// so thread-free programs run the exact single-thread code paths.
+func (p *Program) HasThreadOps() bool {
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpSpawn, OpSwitch, OpJoin:
+			return true
+		}
+	}
+	return false
+}
 
 // AllocWords returns the total words (headers included) the program
 // allocates, an upper bound on its live data used to size matrix

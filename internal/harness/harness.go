@@ -141,6 +141,23 @@ type RunConfig struct {
 	// affects kinds that consult the offline policy; the memory budget
 	// still calibrates at Scale.
 	TrainScale workload.Scale
+	// Threads runs the workload over this many simulated mutator threads
+	// (a round-robin scheduler in the workload layer; the server family
+	// serves request r on thread r mod Threads). 0 or 1 is the
+	// single-thread run, byte-identical to pre-thread builds. Calibration
+	// always runs single-threaded: the live-set bound and site profile
+	// are schedule-independent.
+	Threads int
+	// GCWorkers enables the deterministic parallel copying phases with
+	// this many simulated workers (see core.GenConfig.Workers): identical
+	// heap images at every W, pause wall time shrunk to the critical
+	// path. 0 or 1 is the serial collector.
+	GCWorkers int
+	// DeferMajor runs over-threshold major collections as their own pause
+	// at the next GC trigger instead of inside the minor that crossed the
+	// threshold (see core.GenConfig.DeferMajor). Same collections, moved
+	// pause boundaries; bounds the worst pause a latency window absorbs.
+	DeferMajor bool
 }
 
 // Label names the run for trace output and progress lines.
@@ -152,6 +169,15 @@ func (c RunConfig) Label() string {
 	s := fmt.Sprintf("%s/%s", c.Workload, kind)
 	if c.K > 0 {
 		s += fmt.Sprintf(" k=%g", c.K)
+	}
+	if c.Threads > 1 {
+		s += fmt.Sprintf(" t=%d", c.Threads)
+	}
+	if c.GCWorkers > 1 {
+		s += fmt.Sprintf(" w=%d", c.GCWorkers)
+	}
+	if c.DeferMajor {
+		s += " defer"
 	}
 	return s
 }
@@ -386,17 +412,23 @@ func Run(cfg RunConfig) (*RunResult, error) {
 
 	var col core.Collector
 	var updates func() uint64
+	var attachThreads func(*rt.ThreadSet)
 	switch cfg.Kind {
 	case KindSemispace:
-		col = core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
+		s := core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
 			BudgetWords: budget,
+			Workers:     cfg.GCWorkers,
 			Trace:       rec,
 		})
+		col = s
+		attachThreads = s.AttachThreads
 		updates = func() uint64 { return 0 }
 	default:
 		gcfg := core.GenConfig{
 			BudgetWords:  budget,
 			NurseryWords: nurseryFor(budget),
+			Workers:      cfg.GCWorkers,
+			DeferMajor:   cfg.DeferMajor,
 			Trace:        rec,
 		}
 		if cfg.Profile && cfg.K == 0 {
@@ -432,13 +464,26 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		}
 		g := core.NewGenerational(stack, meter, profHook, gcfg)
 		col = g
+		attachThreads = g.AttachThreads
 		updates = g.PointerUpdates
+	}
+	// The thread set is created — and the collector told about it — only
+	// for T > 1, so single-thread runs execute the exact pre-thread code
+	// paths (byte-identical traces).
+	var threads *rt.ThreadSet
+	if cfg.Threads > 1 {
+		threads = rt.NewThreadSet(stack, meter)
+		attachThreads(threads)
+		for i := 1; i < cfg.Threads; i++ {
+			threads.Spawn()
+		}
 	}
 	if cfg.Sanitize {
 		col = sanitize.Wrap(col, sanitize.Options{})
 	}
 
 	m := workload.NewMutator(col, stack, table, meter)
+	m.Threads = threads
 	// Traced runs record request spans: workloads that bracket work with
 	// Mutator.Request (the server family) feed the internal/slo latency
 	// report. Untraced runs leave Rec nil and Request degrades to a plain

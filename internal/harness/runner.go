@@ -86,18 +86,36 @@ type Options struct {
 	// -adapt-store) persist a whole sweep's advisor state byte-identically
 	// at any parallelism.
 	AdaptSink func([]*adapt.RunProfile)
+	// Threads, when > 1, runs every config in the batch that does not set
+	// its own thread count over this many simulated mutator threads (see
+	// RunConfig.Threads). Simulated results are thread-count-dependent
+	// only for workloads that schedule across threads.
+	Threads int
+	// GCWorkers, when > 1, enables the deterministic parallel copying
+	// phases on every config that does not set its own worker count (see
+	// RunConfig.GCWorkers). Heap contents and client results are
+	// identical at every worker count; only pause accounting shards.
+	GCWorkers int
 }
 
 // workers resolves the pool size for a batch of n runs.
-func (o Options) workers(n int) int {
-	p := o.Parallelism
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
+func (o Options) workers(n int) int { return poolSize(n, o.Parallelism) }
+
+// poolSize is the single pool-sizing resolver for every fan-out path in
+// the harness (RunAll batches and ParallelEach loops): parallelism <= 0
+// means GOMAXPROCS, and the pool never exceeds the n work items. The
+// GOMAXPROCS read is deliberately confined here — it sizes only the
+// goroutine pool, never what any run computes; input-order assembly
+// keeps batch output byte-identical at every pool size, which CI
+// enforces by comparing serial against parallel output.
+func poolSize(n, parallelism int) int {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if p > n {
-		p = n
+	if parallelism > n {
+		parallelism = n
 	}
-	return p
+	return parallelism
 }
 
 // ParallelEach runs fn(i) for every i in [0, n) across a bounded worker
@@ -111,12 +129,7 @@ func ParallelEach(n, parallelism int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > n {
-		parallelism = n
-	}
+	parallelism = poolSize(n, parallelism)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := parallelism; w > 0; w-- {
@@ -173,6 +186,12 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 		}
 		if (opts.Adapt || opts.AdaptSink != nil) && cfg.Kind != KindSemispace {
 			cfg.Adapt = true
+		}
+		if opts.Threads > 1 && cfg.Threads == 0 {
+			cfg.Threads = opts.Threads
+		}
+		if opts.GCWorkers > 1 && cfg.GCWorkers == 0 {
+			cfg.GCWorkers = opts.GCWorkers
 		}
 		if cfg.Adapt && cfg.AdaptWarm == nil {
 			cfg.AdaptWarm = opts.AdaptWarm.Find(cfg.Workload)

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGrowSpaceBelowUsedGrowthError drives the shrink-below-used edge and
+// inspects the typed panic value instead of parsing the message: the
+// GrowthError must carry the space id, the words in use, and the
+// requested capacity exactly.
+func TestGrowSpaceBelowUsedGrowthError(t *testing.T) {
+	h := NewHeap()
+	s := h.AddSpace(128)
+	if _, ok := s.Alloc(100); !ok {
+		t.Fatal("seed allocation failed")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("GrowSpace below used did not panic")
+		}
+		ge, ok := r.(GrowthError)
+		if !ok {
+			t.Fatalf("panic value is %T, want GrowthError", r)
+		}
+		if ge.Space != s.ID() || ge.Used != 100 || ge.Requested != 99 {
+			t.Errorf("GrowthError{Space: %d, Used: %d, Requested: %d}, want {%d, 100, 99}",
+				ge.Space, ge.Used, ge.Requested, s.ID())
+		}
+		if ge.Op == "" {
+			t.Error("GrowthError.Op is empty")
+		}
+		msg := ge.Error()
+		for _, want := range []string{"used 100 words", "requested 99 words"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("Error() = %q, missing %q", msg, want)
+			}
+		}
+	}()
+	h.GrowSpace(s.ID(), 99)
+}
+
+// TestGrowSpaceAtUsedIsLegal pins the boundary: growing to exactly the
+// used extent is a legal (if useless) resize, not a failure.
+func TestGrowSpaceAtUsedIsLegal(t *testing.T) {
+	h := NewHeap()
+	s := h.AddSpace(128)
+	if _, ok := s.Alloc(64); !ok {
+		t.Fatal("seed allocation failed")
+	}
+	g := h.GrowSpace(s.ID(), 64)
+	if g.Used() != 64 || g.Capacity() != 64 {
+		t.Errorf("resize-to-used gave used %d / cap %d, want 64/64", g.Used(), g.Capacity())
+	}
+}

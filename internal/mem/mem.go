@@ -294,15 +294,33 @@ func (h *Heap) ReplaceSpace(id SpaceID, capacity uint64) *Space {
 	return s
 }
 
+// GrowthError is the panic value for space-capacity failures: a resize
+// below the used extent, or a collector's emergency growth that still
+// cannot fit a request. It always carries the space id, the words in
+// use, and the requested words as fields, so failure handlers and
+// regression tests inspect the values instead of parsing the message.
+type GrowthError struct {
+	Op        string // the failing operation, e.g. "GrowSpace below used"
+	Space     SpaceID
+	Used      uint64
+	Requested uint64
+}
+
+func (e GrowthError) Error() string {
+	return fmt.Sprintf("mem: %s: space %d: used %d words, requested %d words",
+		e.Op, e.Space, e.Used, e.Requested)
+}
+
 // GrowSpace resizes the space with the given id to the new capacity,
 // preserving its contents and allocation pointer (offsets are stable, so
 // all addresses into the space remain valid). Shrinking below the used
-// size panics. Collectors use this to apply liveness-ratio resizing
-// policies between collections without moving objects.
+// size panics with a GrowthError. Collectors use this to apply
+// liveness-ratio resizing policies between collections without moving
+// objects.
 func (h *Heap) GrowSpace(id SpaceID, capacity uint64) *Space {
 	old := h.Space(id)
 	if capacity < old.Used() {
-		panic(fmt.Sprintf("mem: GrowSpace(%d, %d) below used %d", id, capacity, old.Used()))
+		panic(GrowthError{Op: "GrowSpace below used", Space: id, Used: old.Used(), Requested: capacity})
 	}
 	need := capacity + 1
 	if !eagerZero && uint64(cap(old.words)) >= need {

@@ -1,0 +1,190 @@
+package rt
+
+import (
+	"fmt"
+
+	"tilgc/internal/costmodel"
+	"tilgc/internal/mem"
+)
+
+// Thread is one simulated mutator thread: its own stack — and therefore
+// its own frames, registers, handlers, and stack markers — plus the
+// write-barrier state the collector assigns it when it is attached: a
+// private sequential store buffer, or a private dirty-card staging area
+// over the shared card table. Threads are cooperative and deterministic:
+// exactly one runs at a time, and the scheduler (the workload or the
+// fuzz interpreter) switches between them at explicit points, so a
+// single-thread program is the T=1 special case with byte-identical
+// traces.
+type Thread struct {
+	id    int
+	stack *Stack
+	dead  bool
+
+	ssb   *SSB       // set by an SSB-barrier collector
+	stage *CardStage // set by a card-barrier collector
+}
+
+// ID returns the thread's id (0 is the primary thread).
+func (t *Thread) ID() int { return t.id }
+
+// Stack returns the thread's stack.
+func (t *Thread) Stack() *Stack { return t.stack }
+
+// Dead reports whether the thread has been joined. A dead thread's stack
+// is no longer a root source, but its barrier state is still drained at
+// the next collection: stores it made before joining are real pointer
+// updates.
+func (t *Thread) Dead() bool { return t.dead }
+
+// SSB returns the thread's store buffer (nil unless an SSB-barrier
+// collector attached one).
+func (t *Thread) SSB() *SSB { return t.ssb }
+
+// SetSSB assigns the thread's store buffer.
+func (t *Thread) SetSSB(b *SSB) { t.ssb = b }
+
+// Stage returns the thread's card staging area (nil unless a card-barrier
+// collector attached one).
+func (t *Thread) Stage() *CardStage { return t.stage }
+
+// SetStage assigns the thread's card staging area.
+func (t *Thread) SetStage(s *CardStage) { t.stage = s }
+
+// ThreadSet owns the simulated threads of one run. It is created around
+// the primary stack (thread 0); collectors attach to it to equip each
+// thread with barrier state and to learn of later spawns.
+type ThreadSet struct {
+	meter   *costmodel.Meter
+	table   *TraceTable
+	threads []*Thread
+	cur     *Thread
+	onSpawn func(*Thread)
+}
+
+// NewThreadSet wraps the primary stack as thread 0 of a new set. Spawned
+// threads get fresh stacks over the same trace table and meter.
+func NewThreadSet(primary *Stack, meter *costmodel.Meter) *ThreadSet {
+	t0 := &Thread{id: 0, stack: primary}
+	return &ThreadSet{meter: meter, table: primary.Table(), threads: []*Thread{t0}, cur: t0}
+}
+
+// OnSpawn registers the collector's hook for equipping newly spawned
+// threads with barrier state. It fires for future spawns only; the
+// caller equips the already-existing threads itself (Threads).
+func (ts *ThreadSet) OnSpawn(fn func(*Thread)) { ts.onSpawn = fn }
+
+// Spawn creates a new live thread with an empty stack and makes it known
+// to the attached collector. The new thread is NOT made current. The
+// primary stack's telemetry recorder carries over so stub returns on
+// spawned threads are counted like everyone else's.
+func (ts *ThreadSet) Spawn() *Thread {
+	st := NewStack(ts.table, ts.meter)
+	st.tracer = ts.threads[0].stack.tracer
+	t := &Thread{id: len(ts.threads), stack: st}
+	ts.threads = append(ts.threads, t)
+	if ts.onSpawn != nil {
+		ts.onSpawn(t)
+	}
+	return t
+}
+
+// Len returns the number of threads ever created (including dead ones).
+func (ts *ThreadSet) Len() int { return len(ts.threads) }
+
+// LiveCount returns the number of threads not yet joined.
+func (ts *ThreadSet) LiveCount() int {
+	n := 0
+	for _, t := range ts.threads {
+		if !t.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Thread returns the thread with the given id.
+func (ts *ThreadSet) Thread(id int) *Thread {
+	if id < 0 || id >= len(ts.threads) {
+		panic(fmt.Sprintf("rt: no thread %d (have %d)", id, len(ts.threads)))
+	}
+	return ts.threads[id]
+}
+
+// Threads returns all threads in id order, dead ones included. Callers
+// scanning roots skip the dead; callers draining barriers do not.
+func (ts *ThreadSet) Threads() []*Thread { return ts.threads }
+
+// Current returns the running thread.
+func (ts *ThreadSet) Current() *Thread { return ts.cur }
+
+// SetCurrent switches execution to the thread with the given id.
+// Switching to a dead thread panics: the scheduler owns liveness.
+func (ts *ThreadSet) SetCurrent(id int) *Thread {
+	t := ts.Thread(id)
+	if t.dead {
+		panic(fmt.Sprintf("rt: switch to joined thread %d", id))
+	}
+	ts.cur = t
+	return t
+}
+
+// Join marks the thread with the given id dead. The primary thread and
+// the current thread cannot be joined — the scheduler must switch away
+// first — so there is always a live thread to run on.
+func (ts *ThreadSet) Join(id int) {
+	t := ts.Thread(id)
+	if id == 0 {
+		panic("rt: join of the primary thread")
+	}
+	if t == ts.cur {
+		panic(fmt.Sprintf("rt: thread %d joining itself", id))
+	}
+	t.dead = true
+}
+
+// CardStage is a thread's private dirty-card staging area: pointer
+// stores dirty the stage instead of the shared CardTable, and the
+// collector flushes every stage into the table at the start of each
+// collection. Staging keeps the mutator-side barrier thread-local while
+// the card table itself stays shared; because Flush is a set-union and
+// CardTable.Cards sorts, the flush order of stages (and of cards within
+// a stage) cannot affect any observable state.
+type CardStage struct {
+	table *CardTable
+	dirty map[uint64]struct{}
+}
+
+// NewCardStage creates an empty staging area over the shared table.
+func NewCardStage(table *CardTable) *CardStage {
+	return &CardStage{table: table, dirty: make(map[uint64]struct{})}
+}
+
+// Record stages the card containing addr, charging exactly what a direct
+// CardTable.Record would: the store's barrier cost is the same whether
+// or not it is staged, and the table's lifetime update count covers all
+// threads.
+func (s *CardStage) Record(addr mem.Addr) {
+	s.dirty[uint64(addr)>>s.table.cardShift] = struct{}{}
+	s.table.total++
+	s.table.meter.Charge(costmodel.Client, costmodel.WriteBarrier)
+}
+
+// Staged returns the number of staged dirty cards.
+func (s *CardStage) Staged() int { return len(s.dirty) }
+
+// Covers reports whether the card containing addr is staged here (the
+// per-thread analogue of CardTable.Covers, for integrity checkers).
+func (s *CardStage) Covers(addr mem.Addr) bool {
+	_, ok := s.dirty[uint64(addr)>>s.table.cardShift]
+	return ok
+}
+
+// Flush merges the staged cards into the shared table and empties the
+// stage. Charges nothing: the stores were charged at Record time.
+func (s *CardStage) Flush() {
+	for id := range s.dirty {
+		s.table.dirty[id] = struct{}{}
+	}
+	clear(s.dirty)
+}

@@ -127,9 +127,11 @@ func (ck *checker) checkFromspace() {
 		}
 	}
 
-	for _, v := range stackRoots(ck.in.Stack) {
-		checkPtr(v, "stack", mem.Nil)
-	}
+	ck.eachRootStack(func(_ int, st *rt.Stack) {
+		for _, v := range stackRoots(st) {
+			checkPtr(v, "stack", mem.Nil)
+		}
+	})
 	for len(queue) > 0 {
 		a := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -160,8 +162,17 @@ func (ck *checker) checkRemembered() {
 	}
 	heap := ck.in.Heap
 
+	// The barrier state is the union over every thread — dead threads
+	// included: their pre-join stores are still pending remembered-set
+	// entries. Single-thread runs have just the collector's own SSB.
 	ssbSet := make(map[mem.Addr]bool)
-	if ck.in.SSB != nil {
+	if ck.in.Threads != nil && ck.in.Cards == nil {
+		for _, t := range ck.in.Threads.Threads() {
+			for _, fa := range t.SSB().Entries() {
+				ssbSet[fa] = true
+			}
+		}
+	} else if ck.in.SSB != nil {
 		for _, fa := range ck.in.SSB.Entries() {
 			ssbSet[fa] = true
 		}
@@ -183,8 +194,19 @@ func (ck *checker) checkRemembered() {
 		spans = append(spans, span{r.Space, r.Start, r.End})
 	}
 	covered := func(fa mem.Addr) bool {
-		if ck.in.Cards != nil && ck.in.Cards.Covers(fa) {
-			return true
+		if ck.in.Cards != nil {
+			if ck.in.Cards.Covers(fa) {
+				return true
+			}
+			// A store staged in a thread's private card stage is covered:
+			// the collector flushes every stage before examining cards.
+			if ck.in.Threads != nil {
+				for _, t := range ck.in.Threads.Threads() {
+					if t.Stage().Covers(fa) {
+						return true
+					}
+				}
+			}
 		}
 		if ssbSet[fa] || stickySet[fa] {
 			return true
@@ -235,20 +257,28 @@ func (ck *checker) checkRemembered() {
 // entries without a live stub are legal — raises pop marked frames without
 // firing stubs, and ReuseBoundary prunes those entries lazily.
 func (ck *checker) checkMarkers() {
-	st := ck.in.Stack
+	ck.eachRootStack(func(id int, st *rt.Stack) { ck.checkMarkersStack(id, st) })
+}
+
+// checkMarkersStack validates one thread's frame chain and markers.
+func (ck *checker) checkMarkersStack(threadID int, st *rt.Stack) {
+	gen := "stack"
+	if threadID > 0 {
+		gen = fmt.Sprintf("stack[t%d]", threadID)
+	}
 	table := st.Table()
 	depth := st.FrameCount()
 	expectedBase := 0
 	for i := 0; i < depth; i++ {
 		base := st.FrameBase(i)
 		if base != expectedBase {
-			ck.report(Violation{Pass: "markers", Gen: "stack",
+			ck.report(Violation{Pass: "markers", Gen: gen,
 				Msg: fmt.Sprintf("frame %d base %d, want %d (frames do not tile the slot array)", i, base, expectedBase)})
 			return
 		}
 		fi := table.Lookup(st.FrameKey(i))
 		if fi == nil {
-			ck.report(Violation{Pass: "markers", Gen: "stack",
+			ck.report(Violation{Pass: "markers", Gen: gen,
 				Msg: fmt.Sprintf("frame %d has no trace-table layout (key %d)", i, st.FrameKey(i))})
 			return
 		}
@@ -261,25 +291,25 @@ func (ck *checker) checkMarkers() {
 		raw := rt.RetKey(st.RawSlot(base))
 		if raw == rt.StubKey {
 			if ck.in.MarkerN == 0 {
-				ck.report(Violation{Pass: "markers", Gen: "stack",
+				ck.report(Violation{Pass: "markers", Gen: gen,
 					Msg: fmt.Sprintf("frame %d carries a marker stub but stack markers are disabled", i)})
 			}
 			m, ok := st.MarkerAt(base)
 			switch {
 			case !ok:
-				ck.report(Violation{Pass: "markers", Gen: "stack",
+				ck.report(Violation{Pass: "markers", Gen: gen,
 					Msg: fmt.Sprintf("frame %d has a stub return key with no marker-table entry (return would panic)", i)})
 			case m.OrigKey != want:
-				ck.report(Violation{Pass: "markers", Gen: "stack",
+				ck.report(Violation{Pass: "markers", Gen: gen,
 					Msg: fmt.Sprintf("frame %d marker displaced key %d, want caller key %d", i, m.OrigKey, want)})
 			}
 		} else if raw != want {
-			ck.report(Violation{Pass: "markers", Gen: "stack",
+			ck.report(Violation{Pass: "markers", Gen: gen,
 				Msg: fmt.Sprintf("frame %d stored return key %d, want caller key %d", i, raw, want)})
 		}
 	}
 	if depth > 0 && st.SP() != expectedBase {
-		ck.report(Violation{Pass: "markers", Gen: "stack",
+		ck.report(Violation{Pass: "markers", Gen: gen,
 			Msg: fmt.Sprintf("stack pointer %d, want %d (top frame size mismatch)", st.SP(), expectedBase)})
 	}
 }
@@ -364,7 +394,11 @@ func (ck *checker) checkCosts() {
 	if ck.in.Meter == nil {
 		return
 	}
-	gcCopy := ck.in.Meter.Get(costmodel.GCCopy)
+	// Under parallel collection the meter's GC buckets hold wall cycles:
+	// the hidden sum-minus-max worker cycles were credited out into the
+	// overlap counter, so the honest total the statistics imply is bucket
+	// plus overlap. Serial runs have zero overlap and the bound is exact.
+	gcCopy := ck.in.Meter.Get(costmodel.GCCopy) + ck.in.Meter.Overlap()
 	minCopy := costmodel.GCOverhead*costmodel.Cycles(st.NumGC) +
 		costmodel.CopyObject*costmodel.Cycles(st.ObjectsCopied) +
 		costmodel.CopyWord*costmodel.Cycles(st.BytesCopied/mem.WordSize) +
@@ -373,11 +407,44 @@ func (ck *checker) checkCosts() {
 		ck.report(Violation{Pass: "costs",
 			Msg: fmt.Sprintf("gc-copy meter %d cycles below the %d implied by copy/scan statistics", gcCopy, minCopy)})
 	}
-	gcStack := ck.in.Meter.Get(costmodel.GCStack)
+	gcStack := ck.in.Meter.Get(costmodel.GCStack) + ck.in.Meter.Overlap()
 	minStack := costmodel.FrameDecode*costmodel.Cycles(st.FramesDecoded) +
 		costmodel.MarkerPlace*costmodel.Cycles(st.MarkersPlaced)
 	if gcStack < minStack {
 		ck.report(Violation{Pass: "costs",
 			Msg: fmt.Sprintf("gc-stack meter %d cycles below the %d implied by decode/marker statistics", gcStack, minStack)})
+	}
+}
+
+// checkWorkers validates the parallel-collection accounting: a serial
+// collector (W <= 1) must carry no worker state at all — zero overlap,
+// zero quanta, zero steals — and a parallel one must keep its counters
+// mutually consistent: steals are a subset of quanta, and overlap (the
+// cycles hidden by running workers concurrently) can only exist once
+// quanta have been distributed.
+func (ck *checker) checkWorkers() {
+	st := ck.in.Stats
+	overlap := costmodel.Cycles(0)
+	if ck.in.Meter != nil {
+		overlap = ck.in.Meter.Overlap()
+	}
+	if ck.in.GCWorkers <= 1 {
+		if overlap != 0 {
+			ck.report(Violation{Pass: "workers",
+				Msg: fmt.Sprintf("serial collector carries %d overlap cycles", overlap)})
+		}
+		if st.ParallelQuanta != 0 || st.WorkSteals != 0 {
+			ck.report(Violation{Pass: "workers",
+				Msg: fmt.Sprintf("serial collector counted %d quanta / %d steals", st.ParallelQuanta, st.WorkSteals)})
+		}
+		return
+	}
+	if st.WorkSteals > st.ParallelQuanta {
+		ck.report(Violation{Pass: "workers",
+			Msg: fmt.Sprintf("WorkSteals %d exceeds ParallelQuanta %d", st.WorkSteals, st.ParallelQuanta)})
+	}
+	if overlap != 0 && st.ParallelQuanta == 0 && st.NumGC > 0 {
+		ck.report(Violation{Pass: "workers",
+			Msg: fmt.Sprintf("%d overlap cycles with no parallel quanta distributed", overlap)})
 	}
 }

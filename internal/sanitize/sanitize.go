@@ -21,6 +21,7 @@ import (
 	"tilgc/internal/core"
 	"tilgc/internal/mem"
 	"tilgc/internal/obj"
+	"tilgc/internal/rt"
 )
 
 // Violation reports one invariant breach with enough context to locate it.
@@ -67,6 +68,7 @@ var passes = []struct {
 	{"markers", (*checker).checkMarkers},
 	{"pretenure", (*checker).checkPretenure},
 	{"costs", (*checker).checkCosts},
+	{"workers", (*checker).checkWorkers},
 }
 
 // PassNames returns the names of all invariant passes, in execution order.
@@ -171,6 +173,23 @@ func (ck *checker) genOf(id mem.SpaceID) string {
 // isLive reports whether a space may legally hold live objects.
 func (ck *checker) isLive(id mem.SpaceID) bool {
 	return ck.young[id] || ck.old[id] || ck.los[id]
+}
+
+// eachRootStack visits every stack whose frames are live roots: the live
+// threads' stacks in thread-id order when a thread set is attached, or
+// just the primary stack. Dead (joined) threads' stacks are excluded —
+// their frames no longer keep anything alive.
+func (ck *checker) eachRootStack(fn func(threadID int, st *rt.Stack)) {
+	if ck.in.Threads == nil {
+		fn(0, ck.in.Stack)
+		return
+	}
+	for _, t := range ck.in.Threads.Threads() {
+		if t.Dead() {
+			continue
+		}
+		fn(t.ID(), t.Stack())
+	}
 }
 
 // walkRange decodes the objects tiling words [start, end) of space id,

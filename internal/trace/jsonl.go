@@ -50,16 +50,20 @@ type recRun struct {
 }
 
 type recEvent struct {
-	T        string      `json:"t"`
-	Run      int         `json:"run"`
-	Seq      uint64      `json:"seq"`
-	Major    *bool       `json:"major,omitempty"`
-	Phase    string      `json:"phase,omitempty"`
-	At       uint64      `json:"at"`
-	Client   uint64      `json:"client"`
-	Stack    uint64      `json:"stack"`
-	Copy     uint64      `json:"copy"`
-	Adapt    uint64      `json:"adapt,omitempty"`
+	T      string `json:"t"`
+	Run    int    `json:"run"`
+	Seq    uint64 `json:"seq"`
+	Major  *bool  `json:"major,omitempty"`
+	Phase  string `json:"phase,omitempty"`
+	At     uint64 `json:"at"`
+	Client uint64 `json:"client"`
+	Stack  uint64 `json:"stack"`
+	Copy   uint64 `json:"copy"`
+	Adapt  uint64 `json:"adapt,omitempty"`
+	// Workers appears on phase_end records of parallel collection phases
+	// only (W > 1), so single-worker streams — including the golden
+	// fixture — are byte-identical to pre-parallel builds.
+	Workers  []uint64    `json:"workers,omitempty"`
 	Counters *GCCounters `json:"counters,omitempty"`
 }
 
@@ -70,6 +74,9 @@ type recRunEnd struct {
 	Stack  uint64 `json:"stack"`
 	Copy   uint64 `json:"copy"`
 	Adapt  uint64 `json:"adapt,omitempty"`
+	// Overlap is the run's hidden parallel-worker cycles (see
+	// RunData.Overlap); omitted when zero, i.e. on every single-worker run.
+	Overlap uint64 `json:"overlap,omitempty"`
 }
 
 // recAdapt is one advisor decision. It appears only in adaptive runs'
@@ -217,6 +224,7 @@ func (f *File) WriteJSONL(w io.Writer) error {
 				rec.Counters = e.Counters
 			case EvPhaseBegin, EvPhaseEnd:
 				rec.Phase = e.Phase.String()
+				rec.Workers = e.Workers
 			}
 			if err := enc.Encode(rec); err != nil {
 				return err
@@ -224,7 +232,8 @@ func (f *File) WriteJSONL(w io.Writer) error {
 		}
 		end := recRunEnd{T: "run_end", Run: i,
 			Client: uint64(d.Final.Client), Stack: uint64(d.Final.GCStack),
-			Copy: uint64(d.Final.GCCopy), Adapt: uint64(d.Final.Adapt)}
+			Copy: uint64(d.Final.GCCopy), Adapt: uint64(d.Final.Adapt),
+			Overlap: uint64(d.Overlap)}
 		if err := enc.Encode(end); err != nil {
 			return err
 		}
@@ -368,6 +377,7 @@ func ReadJSONL(r io.Reader) (*File, error) {
 				GCCopy:  costmodel.Cycles(re.Copy),
 				Adapt:   costmodel.Cycles(re.Adapt),
 			}
+			cur.Overlap = costmodel.Cycles(re.Overlap)
 		case "adapt":
 			var ra recAdapt
 			if err := strict(line, &ra); err != nil {
@@ -483,6 +493,9 @@ func (re recEvent) event(t string) (Event, error) {
 		return Event{}, fmt.Errorf("at %d != client+stack+copy+adapt %d", re.At, b.Total())
 	}
 	ev := Event{Seq: re.Seq, Break: b}
+	if len(re.Workers) > 0 && t != "phase_end" {
+		return Event{}, fmt.Errorf("%s record carries worker tallies", t)
+	}
 	switch t {
 	case "gc_begin":
 		ev.Kind = EvGCBegin
@@ -501,6 +514,7 @@ func (re recEvent) event(t string) (Event, error) {
 			ev.Kind = EvPhaseBegin
 		} else {
 			ev.Kind = EvPhaseEnd
+			ev.Workers = re.Workers
 		}
 		p, ok := ParsePhase(re.Phase)
 		if !ok {

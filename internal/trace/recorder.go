@@ -29,8 +29,9 @@ type Recorder struct {
 	phaseOpen bool
 	gcBegin   costmodel.Breakdown
 
-	finished bool
-	final    costmodel.Breakdown
+	finished     bool
+	final        costmodel.Breakdown
+	finalOverlap costmodel.Cycles
 
 	gcCount   *Metric
 	gcMajors  *Metric
@@ -152,6 +153,26 @@ func (r *Recorder) EndPhase(p Phase) {
 	}
 	r.phaseOpen = false
 	r.events = append(r.events, Event{Kind: EvPhaseEnd, Seq: r.seq, Phase: p, Break: r.meter.Snapshot()})
+}
+
+// EndPhaseWorkers closes the current phase span carrying the per-worker
+// cycle tallies of a parallel collection phase. Callers must have
+// already credited the phase's overlap back to the meter (see
+// costmodel.WorkerTally.ClosePhase), so the snapshot taken here differs
+// from the phase-begin snapshot by exactly max(workers).
+func (r *Recorder) EndPhaseWorkers(p Phase, workers []costmodel.Cycles) {
+	if r == nil {
+		return
+	}
+	if !r.phaseOpen {
+		panic(fmt.Sprintf("trace: EndPhaseWorkers(%v) with no open phase", p))
+	}
+	r.phaseOpen = false
+	w := make([]uint64, len(workers))
+	for i, c := range workers {
+		w[i] = uint64(c)
+	}
+	r.events = append(r.events, Event{Kind: EvPhaseEnd, Seq: r.seq, Phase: p, Break: r.meter.Snapshot(), Workers: w})
 }
 
 func (r *Recorder) site(id obj.SiteID) *SiteCounters {
@@ -303,6 +324,7 @@ func (r *Recorder) Finish() {
 	}
 	r.finished = true
 	r.final = r.meter.Snapshot()
+	r.finalOverlap = r.meter.Overlap()
 }
 
 // Metrics returns the run's metrics registry for snapshotting at any
@@ -329,8 +351,10 @@ func (r *Recorder) Data(label string) *RunData {
 		return nil
 	}
 	final := r.final
+	overlap := r.finalOverlap
 	if !r.finished {
 		final = r.meter.Snapshot()
+		overlap = r.meter.Overlap()
 	}
 	ids := make([]obj.SiteID, 0, len(r.sites))
 	for id := range r.sites {
@@ -345,6 +369,7 @@ func (r *Recorder) Data(label string) *RunData {
 		Label:   label,
 		Events:  r.events,
 		Final:   final,
+		Overlap: overlap,
 		Sites:   sites,
 		Metrics: r.reg.Snapshot(),
 		Adapt:   r.adapt,
@@ -371,9 +396,15 @@ func (r *Recorder) VerifyReconciled() error {
 // — when the producing run opted in — the advisor's decisions, footprint
 // samples, and request spans, each in emission order.
 type RunData struct {
-	Label   string
-	Events  []Event
-	Final   costmodel.Breakdown
+	Label  string
+	Events []Event
+	Final  costmodel.Breakdown
+	// Overlap is the total collector cycles hidden by parallel workers
+	// (costmodel.Meter.Overlap at the end of the run): Final counts wall
+	// time, Final.Total()+Overlap is the honest sum-of-workers cost.
+	// Always zero for single-worker runs, keeping their streams
+	// byte-identical to pre-parallel builds.
+	Overlap costmodel.Cycles
 	Sites   []SiteCounters
 	Metrics []Metric
 	Adapt   []AdaptDecision
@@ -382,9 +413,12 @@ type RunData struct {
 }
 
 // Reconcile verifies the phase/meter tiling invariant on frozen data (see
-// Recorder.VerifyReconciled).
+// Recorder.VerifyReconciled), including the parallel-worker invariants:
+// a phase_end carrying per-worker tallies must have a wall-clock GC delta
+// of exactly max(workers), and the sum over all such phases of the cycles
+// hidden behind the critical path (sum-max) must equal the run's Overlap.
 func (d *RunData) Reconcile() error {
-	var phaseGC, spanGC costmodel.Cycles
+	var phaseGC, spanGC, workerOverlap costmodel.Cycles
 	var open [4]costmodel.Breakdown // stack depth 2: gc span + phase span
 	for _, e := range d.Events {
 		switch e.Kind {
@@ -395,7 +429,22 @@ func (d *RunData) Reconcile() error {
 		case EvPhaseBegin:
 			open[1] = e.Break
 		case EvPhaseEnd:
-			phaseGC += e.Break.GC() - open[1].GC()
+			delta := e.Break.GC() - open[1].GC()
+			phaseGC += delta
+			if len(e.Workers) > 0 {
+				var sum, max uint64
+				for _, w := range e.Workers {
+					sum += w
+					if w > max {
+						max = w
+					}
+				}
+				if costmodel.Cycles(max) != delta {
+					return fmt.Errorf("trace: collection %d %v: max worker cycles %d != phase GC delta %d",
+						e.Seq, e.Phase, max, delta)
+				}
+				workerOverlap += costmodel.Cycles(sum - max)
+			}
 		}
 	}
 	if phaseGC != spanGC {
@@ -403,6 +452,9 @@ func (d *RunData) Reconcile() error {
 	}
 	if spanGC != d.Final.GC() {
 		return fmt.Errorf("trace: collection-span GC cycles %d != final meter GC cycles %d", spanGC, d.Final.GC())
+	}
+	if workerOverlap != d.Overlap {
+		return fmt.Errorf("trace: per-phase worker overlap %d != run overlap %d", workerOverlap, d.Overlap)
 	}
 	return nil
 }

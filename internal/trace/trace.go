@@ -121,6 +121,13 @@ type Event struct {
 	Break costmodel.Breakdown
 	// Counters is set on EvGCEnd only: the collection's stat deltas.
 	Counters *GCCounters
+	// Workers is set on EvPhaseEnd for parallel collection phases only
+	// (W > 1): the simulated cycles each collector worker spent in the
+	// phase, indexed by worker rank. The phase's wall-clock GC delta
+	// equals exactly max(Workers); the hidden sum-max difference is
+	// accounted in RunData.Overlap. Single-worker runs never set it, so
+	// their streams are byte-identical to pre-parallel builds.
+	Workers []uint64
 }
 
 // At returns the event's timestamp in simulated cycles.

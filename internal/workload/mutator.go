@@ -32,11 +32,34 @@ type Mutator struct {
 	// server workloads emit via Request. Nil for untraced runs (and for
 	// batch workloads, which never call Request).
 	Rec *trace.Recorder
+	// Threads, when the harness attaches a thread set, lets workloads
+	// schedule work across simulated mutator threads (SetThread); thread 0
+	// wraps Stack. Nil is the single-thread run — workloads must not
+	// change behaviour in that case, so T=1 stays byte-identical.
+	Threads *rt.ThreadSet
 }
 
 // NewMutator creates a mutator over the given collector and runtime.
 func NewMutator(col core.Collector, stack *rt.Stack, table *rt.TraceTable, meter *costmodel.Meter) *Mutator {
 	return &Mutator{Col: col, Stack: stack, Table: table, Meter: meter}
+}
+
+// NumThreads returns the number of simulated mutator threads (1 when no
+// thread set is attached).
+func (m *Mutator) NumThreads() int {
+	if m.Threads == nil {
+		return 1
+	}
+	return m.Threads.Len()
+}
+
+// SetThread switches execution to the given thread: subsequent frame,
+// slot, and register operations act on that thread's stack, and pointer
+// stores route through its barrier state. The switch itself charges
+// nothing — the scheduler is part of the simulation harness, not the
+// measured program.
+func (m *Mutator) SetThread(id int) {
+	m.Stack = m.Threads.SetCurrent(id).Stack()
 }
 
 // Frame registers a frame layout whose slots beyond slot 0 are described

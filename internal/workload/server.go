@@ -100,6 +100,7 @@ func (s serverBench) Run(m *Mutator, scale Scale) Result {
 	req := m.PtrFrame("sv_req", 6)
 
 	bursts := scale.Reps(s.bursts)
+	nt := m.NumThreads()
 
 	var check uint64
 	m.Call(main, func() {
@@ -121,22 +122,64 @@ func (s serverBench) Run(m *Mutator, scale Scale) Result {
 		}
 		m.SetSlotNil(3)
 
+		// With a thread set attached, every worker thread gets a
+		// persistent base frame holding the shared session and cache
+		// tables, so CallArgs can copy them into request frames on any
+		// thread. The table pointers are read on thread 0 and written
+		// before any allocation can intervene, so they cannot go stale;
+		// from then on each thread's base frame is a root the collector
+		// keeps forwarded.
+		if nt > 1 {
+			sess, cache := m.Slot(1), m.Slot(2)
+			for k := 1; k < nt; k++ {
+				m.SetThread(k)
+				m.Stack.Call(main)
+				m.SetSlot(1, sess)
+				m.SetSlot(2, cache)
+			}
+			m.SetThread(0)
+		}
+
 		// The arrival schedule: bursts of back-to-back requests separated
 		// by idle mutator work. The schedule is a pure function of the mix
 		// parameters and the scale, so request ids, arrival cycles, and
 		// therefore the whole latency distribution are deterministic.
+		// With threads, request r is served on thread r mod T (round
+		// robin) and the idle gap runs on thread 0; the cooperative
+		// scheduler runs each request to completion, so the request
+		// stream — and therefore the digest — is the same at every T.
 		var id uint64
 		for b := 0; b < bursts; b++ {
 			for r := 0; r < s.burst; r++ {
 				rid := id
 				id++
+				if nt > 1 {
+					m.SetThread(int(rid % uint64(nt)))
+				}
 				m.Request(rid, func() {
 					m.CallArgs(req, []int{1, 2}, func() {
 						check = check*33 + s.serve(m, rid)
 					})
 				})
 			}
+			if nt > 1 {
+				m.SetThread(0)
+			}
 			m.Work(uint64(s.gap) * uint64(s.burst))
+		}
+
+		// Tear the worker threads down: pop each base frame, then join —
+		// joined threads' stacks stop being root sources, but their
+		// barrier state still drains at the next collection.
+		if nt > 1 {
+			for k := 1; k < nt; k++ {
+				m.SetThread(k)
+				m.Stack.Return()
+			}
+			m.SetThread(0)
+			for k := 1; k < nt; k++ {
+				m.Threads.Join(k)
+			}
 		}
 
 		// Fold the surviving session counters into the self-check: the
