@@ -14,6 +14,8 @@
 //	gcbench -experiment elide      # §7.2 scan-elision extension
 //	gcbench -experiment adapt      # §9 online adaptive pretenuring
 //	gcbench -experiment slo        # latency-SLO table (server traffic mixes)
+//	gcbench -experiment oldgen     # old-generation collectors: copy vs mark-sweep vs mark-compact
+//	gcbench -table 5 -old marksweep # any sweep with a non-moving old generation
 //	gcbench -table 4 -adapt                 # attach the online advisor to every gen run
 //	gcbench -table 4 -adapt -adapt-store s.jsonl  # ... and store the learned profiles
 //	gcbench -table 4 -adapt -adapt-warm s.jsonl   # ... warm-started from a stored run
@@ -59,6 +61,8 @@ func main() {
 		"sample per-space heap occupancy (live/committed words) at every collection into the trace")
 	threads := flag.Int("threads", 0,
 		"simulated mutator threads per run (0/1 = single-threaded; only thread-scheduling workloads change results)")
+	oldCollector := flag.String("old", "",
+		"old-generation collector for every generational run: copy (default), marksweep, or markcompact")
 	gcWorkers := flag.Int("gc-workers", 0,
 		"parallel copying workers per collection (0/1 = serial; heap contents and client results are identical, pauses shard)")
 	adaptRuns := flag.Bool("adapt", false,
@@ -124,8 +128,14 @@ func main() {
 		return
 	}
 
+	oldc, ok := gcsim.ParseOldCollector(*oldCollector)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gcbench: unknown -old %q (want copy, marksweep, or markcompact)\n", *oldCollector)
+		os.Exit(2)
+	}
+
 	opts := gcsim.RunOptions{Parallelism: *parallel, Sanitize: *sanitizeRuns, TraceHeap: *traceHeap,
-		Threads: *threads, GCWorkers: *gcWorkers}
+		Threads: *threads, GCWorkers: *gcWorkers, OldCollector: oldc}
 	if *progress {
 		opts.Events = progressWriter
 	}

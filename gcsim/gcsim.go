@@ -103,6 +103,37 @@ type Config struct {
 	// threshold. Same collections, same work — only the pause boundaries
 	// move. Ignored by the semispace collector (every collection is full).
 	DeferMajor bool
+	// OldCollector selects the tenured-generation algorithm for the
+	// generational collectors: OldCopy (the zero value — the paper's
+	// copying old generation), OldMarkSweep (non-moving, mark bitmap +
+	// size-segregated free lists), or OldMarkCompact (mark bitmap + a
+	// sliding compaction preserving allocation order). Client-visible
+	// results are byte-identical across all three; only GC cost, pause
+	// shape, and heap footprint differ. Combining it with the Semispace
+	// collector is a validation error: that baseline has no old
+	// generation.
+	OldCollector OldGenCollector
+}
+
+// OldGenCollector selects the tenured-generation algorithm (see
+// Config.OldCollector).
+type OldGenCollector = core.OldCollector
+
+// Old-generation collector choices.
+const (
+	// OldCopy is the paper's copying old generation (the default).
+	OldCopy = core.OldCopy
+	// OldMarkSweep is the non-moving bitmap mark-sweep old generation.
+	OldMarkSweep = core.OldMarkSweep
+	// OldMarkCompact is the sliding bitmap mark-compact old generation.
+	OldMarkCompact = core.OldMarkCompact
+)
+
+// ParseOldCollector resolves an old-generation collector name ("copy",
+// "marksweep", "markcompact"; "" means copy) to its value, reporting
+// whether the name was recognized.
+func ParseOldCollector(s string) (OldGenCollector, bool) {
+	return core.ParseOldCollector(s)
 }
 
 // Re-exported building blocks.
@@ -207,6 +238,7 @@ func NewRuntime(cfg Config) *Runtime {
 			AgingMinors:  cfg.AgingMinors,
 			Workers:      cfg.GCWorkers,
 			DeferMajor:   cfg.DeferMajor,
+			OldCollector: cfg.OldCollector,
 		}
 		if cfg.Collector >= GenerationalMarkers {
 			gcfg.MarkerN = cfg.MarkerN
@@ -350,7 +382,8 @@ const (
 
 // Experiment regenerates one of the paper's tables or figures, writing
 // the rendered result to w. Valid names: "table1" ... "table7",
-// "figure2", "elide", "barrier", "markersweep", "adapt", "slo".
+// "figure2", "elide", "barrier", "markersweep", "adapt", "slo",
+// "oldgen".
 func Experiment(w io.Writer, name string, scale Scale) error {
 	return ExperimentOpts(w, name, scale, RunOptions{})
 }
@@ -387,6 +420,8 @@ func ExperimentOpts(w io.Writer, name string, scale Scale, opts RunOptions) erro
 		return harness.ExperimentAdapt(w, scale, opts)
 	case "slo":
 		return harness.ExperimentSLO(w, scale, opts)
+	case "oldgen":
+		return harness.ExperimentOldgen(w, scale, opts)
 	}
 	return fmt.Errorf("gcsim: unknown experiment %q", name)
 }
@@ -396,7 +431,7 @@ func Experiments() []string {
 	return []string{
 		"table1", "table2", "table3", "table4", "table5", "table6",
 		"table7", "figure2", "elide", "barrier", "aging", "markersweep",
-		"adapt", "slo",
+		"adapt", "slo", "oldgen",
 	}
 }
 

@@ -43,6 +43,12 @@ func (c Config) Validate() error {
 		if c.ScanElision {
 			bad("ScanElision is set but the Semispace collector has no pretenured region")
 		}
+		if c.OldCollector != OldCopy {
+			bad("OldCollector %v is set but the Semispace collector has no old generation", c.OldCollector)
+		}
+	}
+	if c.OldCollector > OldMarkCompact {
+		bad("unknown OldCollector %d (want OldCopy, OldMarkSweep, or OldMarkCompact)", c.OldCollector)
 	}
 
 	// MarkerN selects the §5 stack-marker spacing. Plain Generational

@@ -89,6 +89,20 @@ type GCStats struct {
 	LOSSwept     uint64 // large objects freed by mark-sweep
 	Pretenured   uint64 // objects allocated directly into the old generation
 
+	// Non-moving old-generation accounting (bitmap mark-sweep and
+	// mark-compact only; zero under the copying old generation).
+	ObjectsMarked uint64 // tenured objects marked in place (not copied)
+	WordsMarked   uint64 // words of tenured objects marked in place
+	WordsSwept    uint64 // dead tenured words returned to the free lists
+	WordsSlid     uint64 // live tenured words moved by the compaction slide
+
+	// OldBytesCopied is the share of BytesCopied that evacuated the old
+	// generation's from-space during copying major collections. The
+	// non-moving collectors drive it to zero — the quantity the oldgen
+	// experiment reports (in-place marking and sliding are counted by the
+	// fields above, never here).
+	OldBytesCopied uint64
+
 	// Parallel-collection accounting (W > 1 only; zero otherwise).
 	ParallelQuanta uint64 // work quanta distributed across simulated workers
 	WorkSteals     uint64 // quanta claimed by a different worker than the previous one
@@ -132,7 +146,9 @@ type Profiler interface {
 	// OnSpaceCondemned declares that every tracked object still recorded
 	// in space id (i.e. not moved out during this collection) has died.
 	OnSpaceCondemned(id mem.SpaceID)
-	// OnLOSDead records the death of the large object at addr.
+	// OnLOSDead records the death of the non-moving object at addr — a
+	// large object freed by the LOS sweep, or a tenured object reclaimed
+	// in place by the non-moving old-generation collectors.
 	OnLOSDead(addr mem.Addr)
 	// OnGCEnd marks the end of a collection cycle.
 	OnGCEnd()

@@ -64,6 +64,12 @@ type GenConfig struct {
 	// boundaries move. Default false is the in-pause escalation the
 	// original traces pin.
 	DeferMajor bool
+	// OldCollector selects the tenured-generation algorithm: the paper's
+	// copying collector (zero value, the default), bitmap mark-sweep, or
+	// sliding mark-compact. Client-observable results are byte-identical
+	// across all three; GC cost, pause shape, and footprint differ (see
+	// gcbench -experiment oldgen).
+	OldCollector OldCollector
 	// Workers > 1 enables the deterministic parallel copying phases: the
 	// collection executes the identical serial work order (heap images
 	// are byte-identical at every W), but parallel-phase cycles are
@@ -119,6 +125,18 @@ type Generational struct {
 	idB     mem.SpaceID
 	ten     *mem.Space // current tenured allocation space
 	tenCap  uint64     // logical tenured threshold T (triggers major GC)
+
+	// old is the non-moving tenured side state (mark/allocation bitmap and
+	// free lists); nil under the copying old generation. When set, the
+	// tenured space is permanently idA — it is never flipped or replaced.
+	old *oldSpace
+	// compactCapture and rootFix support the mark-compact root fixup:
+	// during a compacting major's root scan every location left holding a
+	// tenured pointer is captured, then revisited after slide destinations
+	// are known (the slide is the only time tenured objects move without
+	// forwarding headers).
+	compactCapture bool
+	rootFix        []rootFixEntry
 
 	// Aging spaces (only when cfg.AgingMinors > 0): survivors shuttle
 	// between the pair until old enough to tenure.
@@ -209,6 +227,11 @@ func NewGenerational(stack *rt.Stack, meter *costmodel.Meter, prof Profiler, cfg
 	b := heap.AddSpace(0)
 	c.idA, c.idB = a.ID(), b.ID()
 	c.ten = a
+	if cfg.OldCollector != OldCopy {
+		// Non-moving old generation: idA is the permanent tenured space
+		// (idB stays a zero-capacity reservation, never materialized).
+		c.old = newOldSpace(heap, c.idA)
+	}
 	if cfg.AgingMinors > 0 {
 		ag := heap.AddSpace(cfg.NurseryWords + 64)
 		agb := heap.AddSpace(0)
@@ -323,12 +346,22 @@ func (c *Generational) initialTenCap() uint64 {
 	if c.cfg.BudgetWords <= c.cfg.NurseryWords+1024 {
 		return 1024
 	}
-	return (c.cfg.BudgetWords - c.cfg.NurseryWords) / 2
+	avail := c.cfg.BudgetWords - c.cfg.NurseryWords
+	if c.cfg.OldCollector != OldCopy {
+		// The non-moving collectors need no copy reserve: the whole tenured
+		// share of the budget is usable live space — their footprint
+		// advantage over the copying old generation.
+		return avail
+	}
+	return avail / 2
 }
 
 // Name implements Collector.
 func (c *Generational) Name() string {
 	n := "generational"
+	if c.cfg.OldCollector != OldCopy {
+		n += "+" + c.cfg.OldCollector.String()
+	}
 	if c.cfg.MarkerN > 0 {
 		n += "+markers"
 	}
@@ -426,6 +459,7 @@ func (c *Generational) PointerUpdates() uint64 {
 func (c *Generational) Alloc(k obj.Kind, length uint64, site obj.SiteID, mask uint64) mem.Addr {
 	size := obj.SizeWords(k, length)
 	c.chargeAlloc(k, size)
+	c.noteOldMutation()
 
 	// Large arrays bypass the nursery into the mark-sweep space (§2.1).
 	if k != obj.Record && length >= c.cfg.LargeObjectWords {
@@ -506,13 +540,33 @@ func (c *Generational) ensureTenured(extra uint64) {
 // tenured generation and remembers the region for the next minor scan.
 func (c *Generational) allocPretenured(k obj.Kind, length uint64, site obj.SiteID, mask uint64, size uint64) mem.Addr {
 	c.meter.Charge(costmodel.Client, costmodel.AllocPretenure)
-	if c.ten.Used()+size > c.tenCap {
+	// The trigger compares occupancy, not the raw frontier: under the
+	// non-moving collectors ten.Used() includes free-list words that are
+	// reusable space, not pressure (tenLive == Used under copying).
+	if c.tenLive()+size > c.tenCap {
 		c.Collect(true)
+	}
+	if c.old != nil {
+		if a, ok := c.old.allocObject(k, length, site, mask); ok {
+			c.pretenured.add(a.Space(), a.Offset(), size)
+			c.stats.Pretenured++
+			c.tr.AllocSite(site, size, true)
+			if c.prof != nil {
+				c.prof.OnAlloc(a, site, k, size, true)
+			}
+			return a
+		}
 	}
 	c.ensureTenured(size)
 	a, ok := obj.Alloc(c.heap, c.ten, k, length, site, mask)
 	if !ok {
 		panic("core: tenured space physical overflow on pretenured allocation")
+	}
+	if c.old != nil {
+		// Bump-allocated into the non-moving space: set the allocation bits
+		// the free-list path sets in allocObject.
+		c.old.setRange(a.Offset(), size)
+		c.old.marksFresh = false
 	}
 	c.pretenured.add(a.Space(), a.Offset(), size)
 	c.stats.Pretenured++
@@ -551,6 +605,7 @@ func (c *Generational) LoadField(a mem.Addr, i uint64) uint64 {
 // barrier, which records the mutated field's address.
 func (c *Generational) StoreField(a mem.Addr, i uint64, v uint64, isPtr bool) {
 	c.meter.Charge(costmodel.Client, costmodel.MutatorStore)
+	c.noteOldMutation()
 	fa := obj.FieldAddr(c.heap, a, i)
 	c.heap.Store(fa, v)
 	if isPtr {
@@ -596,6 +651,13 @@ func (c *Generational) Collect(major bool) {
 	if c.inGC {
 		panic("core: reentrant collection")
 	}
+	// Any collection invalidates mark freshness up front: a minor promotes
+	// into the old generation without re-tracing it, and the mutator may
+	// have dropped stack roots since the last major — a write the
+	// collector never sees — so the bitmap can be a strict superset of
+	// what this collection finds reachable. A non-moving major re-traces
+	// and re-establishes freshness at its end.
+	c.noteOldMutation()
 	if major || c.pendingMajor {
 		c.pendingMajor = false
 		c.majorGC()
@@ -642,6 +704,10 @@ func (c *Generational) minorGC() {
 	ev.tr = c.tr
 	ev.tenuredID = c.ten.ID()
 	ev.tally = c.tally
+	// Non-moving old generation: promotions reuse free-list spans and set
+	// allocation bits (oldMark stays false — minors leave tenured pointers
+	// untouched, exactly like the copying collector).
+	ev.old = c.old
 	var oldSticky []mem.Addr
 	if agingTo != nil {
 		ev.addDest(agingTo)
@@ -710,7 +776,7 @@ func (c *Generational) minorGC() {
 		c.stickySpare = oldSticky[:0]
 	}
 
-	if c.ten.Used() > c.tenCap {
+	if c.tenLive() > c.tenCap {
 		if c.cfg.DeferMajor {
 			// Bounded-pause mode: resume the mutator now; the major runs
 			// as its own pause at the next trigger (a major collects the
@@ -1015,7 +1081,19 @@ func (c *Generational) majorGC() {
 		c.endParallelPhase(trace.PhaseSetup)
 	}
 	c.stats.NumMajor++
+	switch c.cfg.OldCollector {
+	case OldMarkSweep:
+		c.majorMarkSweep()
+	case OldMarkCompact:
+		c.majorMarkCompact()
+	default:
+		c.majorCopy()
+	}
+}
 
+// majorCopy is the paper's copying major collection: nursery and tenured
+// survivors are evacuated into a fresh tenured semispace.
+func (c *Generational) majorCopy() {
 	fromID, toID := c.idA, c.idB
 	if c.ten.ID() != fromID {
 		fromID, toID = toID, fromID
@@ -1034,6 +1112,7 @@ func (c *Generational) majorGC() {
 	ev.tr = c.tr
 	ev.tenuredID = toID
 	ev.tally = c.tally
+	ev.oldFromID = fromID
 
 	c.tr.BeginPhase(trace.PhaseRoots)
 	c.scanRoots(ev, false)
@@ -1091,13 +1170,132 @@ func (c *Generational) majorGC() {
 	c.updateMaxLive()
 }
 
+// beginNonmovingMajor is the shared front half of the two non-moving
+// majors: clear the LOS marks and the tenured bitmap (the trace rebuilds
+// it as the live set), make room for the worst-case promotion, and rearm
+// the evacuator in marking mode — nursery (and aging) spaces are
+// condemned and evacuated into the tenured space as usual, but tenured
+// pointers mark in place instead of copying.
+func (c *Generational) beginNonmovingMajor() *evacuator {
+	c.los.ClearMarks()
+	c.old.clearBitmap()
+	c.ensureTenured(c.nursery.Used() + c.agingUsed() + 64)
+	var condemned [2]mem.SpaceID
+	condemned[0] = c.nursery.ID()
+	ncond := 1
+	if c.aging != nil {
+		condemned[1] = c.aging.ID()
+		ncond = 2
+	}
+	ev := c.evacuator()
+	ev.begin(c.heap, c.meter, &c.stats, c.prof, condemned[:ncond], c.ten, c.los)
+	ev.tr = c.tr
+	ev.tenuredID = c.ten.ID()
+	ev.tally = c.tally
+	ev.old = c.old
+	ev.oldMark = true
+	return ev
+}
+
+// majorMarkSweep is the bitmap mark-sweep major: trace in place, then
+// sweep dead tenured runs into the free lists. No tenured object moves.
+func (c *Generational) majorMarkSweep() {
+	ev := c.beginNonmovingMajor()
+
+	c.tr.BeginPhase(trace.PhaseRoots)
+	c.scanRoots(ev, false)
+	c.endParallelPhase(trace.PhaseRoots)
+	c.tr.BeginPhase(trace.PhaseMark)
+	ev.drain()
+	c.endParallelPhase(trace.PhaseMark)
+	c.tr.BeginPhase(trace.PhaseSweep)
+	c.sweepOld()
+	c.los.SweepWith(c.prof, c.beginQ, c.endQ)
+	c.endParallelPhase(trace.PhaseSweep)
+
+	c.finishNonmovingMajor()
+}
+
+// majorMarkCompact is the sliding mark-compact major: trace in place,
+// slide the live tenured objects toward the space base (preserving
+// allocation order), then sweep the LOS. Stack roots into the tenured
+// space are captured during the root scan and rewritten by the
+// compaction's fixup pass.
+func (c *Generational) majorMarkCompact() {
+	ev := c.beginNonmovingMajor()
+
+	c.compactCapture = true
+	c.rootFix = c.rootFix[:0]
+	c.tr.BeginPhase(trace.PhaseRoots)
+	c.scanRoots(ev, false)
+	c.endParallelPhase(trace.PhaseRoots)
+	c.compactCapture = false
+	c.tr.BeginPhase(trace.PhaseMark)
+	ev.drain()
+	c.endParallelPhase(trace.PhaseMark)
+	c.tr.BeginPhase(trace.PhaseCompact)
+	c.compactOld()
+	c.endParallelPhase(trace.PhaseCompact)
+	c.tr.BeginPhase(trace.PhaseSweep)
+	c.los.SweepWith(c.prof, c.beginQ, c.endQ)
+	c.endParallelPhase(trace.PhaseSweep)
+
+	c.finishNonmovingMajor()
+}
+
+// finishNonmovingMajor is the shared back half of the non-moving majors:
+// the same epilogue as the copying major (fresh-list, profiler, space
+// resets, remembered-set drop) with the tenured resize driven by
+// occupancy rather than a new semispace's frontier, and no from-space to
+// release.
+func (c *Generational) finishNonmovingMajor() {
+	c.los.TakeFresh()
+	if c.prof != nil {
+		c.prof.OnSpaceCondemned(c.nursery.ID())
+		if c.aging != nil {
+			c.prof.OnSpaceCondemned(c.aging.ID())
+		}
+		c.prof.OnGCEnd()
+	}
+	c.nursery.Reset()
+	if c.aging != nil {
+		c.aging = c.heap.ReplaceSpace(c.aging.ID(), c.cfg.NurseryWords+64)
+	}
+	c.sticky = c.sticky[:0] // no old-to-young refs survive a full collection
+	c.dropBarrier()
+	c.pretenured.clear()
+
+	live := c.tenLive()
+	// Tenured resize: target liveness within the budget share. Without a
+	// copy reserve the whole non-LOS remainder of the budget is usable.
+	newCap := uint64(float64(live) / c.cfg.TargetTenuredLiveness)
+	maxCap := c.initialTenCap()
+	if c.cfg.BudgetWords > c.cfg.NurseryWords {
+		if avail := c.cfg.BudgetWords - c.cfg.NurseryWords; c.los.UsedWords() < avail {
+			maxCap = avail - c.los.UsedWords()
+		}
+	}
+	if newCap > maxCap {
+		newCap = maxCap
+	}
+	minCap := live + c.cfg.NurseryWords/4 + 256
+	if newCap < minCap {
+		newCap = minCap // budget-starved: keep limping with minimum headroom
+	}
+	c.tenCap = newCap
+	// The bitmap now coincides with the traced reachable set; any mutator
+	// allocation or store invalidates that reading (noteOldMutation).
+	c.old.marksFresh = true
+	c.updateMaxLive()
+}
+
 // updateMaxLive records the live-set high-water mark. It is only called
 // after a major collection, when the tenured space holds exactly the live
 // data; between majors ten.Used() also counts promoted-but-dead objects
 // and would wildly overestimate (the calibration pass forces frequent
 // majors to sample tightly).
 func (c *Generational) updateMaxLive() {
-	liveBytes := (c.ten.Used() + c.los.UsedWords()) * mem.WordSize
+	liveBytes := (c.tenLive() + c.los.UsedWords()) * mem.WordSize
 	if liveBytes > c.stats.MaxLiveBytes {
 		c.stats.MaxLiveBytes = liveBytes
 	}
@@ -1123,13 +1321,30 @@ func (c *Generational) forwardRootOn(ev *evacuator, st *rt.Stack, loc RootLoc) {
 	c.stats.RootsFound++
 	if loc.IsReg {
 		v := st.Reg(loc.Index)
-		if nv := ev.forward(v); nv != v {
+		nv := ev.forward(v)
+		if nv != v {
 			st.SetReg(loc.Index, nv)
 		}
+		c.captureRoot(st, loc, nv)
 		return
 	}
 	v := st.RawSlot(loc.Index)
-	if nv := ev.forward(v); nv != v {
+	nv := ev.forward(v)
+	if nv != v {
 		st.SetRawSlot(loc.Index, nv)
+	}
+	c.captureRoot(st, loc, nv)
+}
+
+// captureRoot records a root location left holding a tenured pointer
+// during a compacting major's root scan; the compaction fixup revisits
+// exactly these locations once slide destinations are known. No-op
+// outside the capture window.
+func (c *Generational) captureRoot(st *rt.Stack, loc RootLoc, v uint64) {
+	if !c.compactCapture {
+		return
+	}
+	if a := mem.Addr(v); !a.IsNil() && a.Space() == c.old.id {
+		c.rootFix = append(c.rootFix, rootFixEntry{st: st, loc: loc})
 	}
 }

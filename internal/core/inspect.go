@@ -16,6 +16,13 @@ type PretenuredRegion struct {
 	End   uint64 // one past the last word offset
 }
 
+// OldFreeSpan is a read-only view of one free-list span of the
+// non-moving tenured space: words [Start, Start+Size) hold a filler.
+type OldFreeSpan struct {
+	Start uint64
+	Size  uint64
+}
+
 // Inspection is a read-only snapshot of a collector's structural state,
 // taken between collections. Integrity checkers (internal/sanitize) use it
 // to walk the heap independently of the collector's own machinery; nothing
@@ -54,6 +61,19 @@ type Inspection struct {
 
 	LargeObjectWords uint64
 	MarkerN          int
+
+	// Non-moving old-generation state (OldCollector != OldCopy only).
+	// OldBitmap is a defensive copy of the mark/allocation bitmap (bit
+	// off-1 ⇔ tenured word offset off); OldFreeSpans are the free-list
+	// spans in ascending offset order; OldFreeWords is the collector's
+	// free-word counter (checked against the spans); OldMarksFresh reports
+	// that no mutator activity has occurred since the last non-moving
+	// major, so the bitmap must still equal the reachable set.
+	OldCollector  OldCollector
+	OldBitmap     []uint64
+	OldFreeSpans  []OldFreeSpan
+	OldFreeWords  uint64
+	OldMarksFresh bool
 
 	// Threads, when the run is multi-threaded, is the simulated thread
 	// set: every live thread's stack is a root source, and every thread's
@@ -100,6 +120,15 @@ func (c *Generational) Inspect() Inspection {
 	}
 	if c.aging != nil {
 		in.YoungSpaces = append(in.YoungSpaces, c.agA, c.agB)
+	}
+	if c.old != nil {
+		in.OldCollector = c.cfg.OldCollector
+		in.OldBitmap = slices.Clone(c.old.bitmap)
+		in.OldFreeWords = c.old.freeWords
+		in.OldMarksFresh = c.old.marksFresh
+		for _, s := range c.old.freeSpans() {
+			in.OldFreeSpans = append(in.OldFreeSpans, OldFreeSpan{Start: s.off, Size: s.size})
+		}
 	}
 	for _, r := range c.pretenured.regions {
 		in.PretenuredRegions = append(in.PretenuredRegions,

@@ -66,6 +66,19 @@ type evacuator struct {
 	// worker count.
 	tally *costmodel.WorkerTally
 
+	// old, when non-nil, is the non-moving tenured space's side state:
+	// evacuations into it prefer its free lists over the bump frontier,
+	// and every copy into it sets the destination's allocation bits. With
+	// oldMark also set (non-moving majors only), pointers into it mark
+	// their target in place instead of evacuating — the mark phase of
+	// mark-sweep and mark-compact.
+	old     *oldSpace
+	oldMark bool
+	// oldFromID, when non-zero, is the tenured from-space of a copying
+	// major: evacuations out of it accumulate GCStats.OldBytesCopied, the
+	// copy traffic the non-moving collectors eliminate.
+	oldFromID mem.SpaceID
+
 	scans    []spaceScan // Cheney frontiers, one per destination space
 	losQueue []mem.Addr  // marked large objects awaiting field scan
 }
@@ -153,6 +166,18 @@ func (e *evacuator) forward(v uint64) uint64 {
 	} else if e.isCondemned(id) {
 		return uint64(e.evacuate(a))
 	}
+	if e.old != nil && id == e.old.id {
+		// Non-moving tenured target: never condemned. During a non-moving
+		// major (oldMark) the pointer marks its target in place and grays
+		// it on first visit — the losQueue doubles as the mark stack, so
+		// the drain scans marked tenured objects exactly like marked large
+		// objects. Minor collections fall through with the pointer intact,
+		// just as the copying collector leaves tenured pointers alone.
+		if e.oldMark {
+			e.markOld(a)
+		}
+		return v
+	}
 	if e.los != nil && e.los.Contains(id) {
 		if e.los.Mark(a) {
 			e.losQueue = append(e.losQueue, a)
@@ -191,6 +216,18 @@ func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
 	if e.route != nil {
 		target = e.route(o)
 	}
+	if e.old != nil && target.ID() == e.old.id {
+		if fa := e.old.alloc(size); !fa.IsNil() {
+			// Promotion into a reclaimed free-list span. The destination is
+			// below the Cheney frontier, so the copy grays itself onto the
+			// losQueue instead of being picked up by the frontier scan.
+			copy(target.Raw()[fa.Offset():fa.Offset()+size], src[off:off+size])
+			claimForward(src, off, fa)
+			e.finishCopy(fa, o, size)
+			e.losQueue = append(e.losQueue, fa)
+			return fa
+		}
+	}
 	dst, ok := target.AllocUnzeroed(size)
 	if !ok {
 		panic(fmt.Sprintf("core: to-space %d overflow evacuating %d words (used %d / cap %d)",
@@ -200,6 +237,23 @@ func (e *evacuator) evacuate(a mem.Addr) mem.Addr {
 	claimForward(src, off, dst)
 	e.finishCopy(dst, o, size)
 	return dst
+}
+
+// markOld marks the tenured object at a in place: the mark-bitmap test,
+// the range set and gray push on first visit. Shared by the optimized
+// and reference kernels (like finishCopy) so both mark phases charge and
+// mutate identically. The caller's quantum brackets the charge.
+func (e *evacuator) markOld(a mem.Addr) {
+	e.meter.Charge(costmodel.GCCopy, costmodel.MarkTest)
+	off := a.Offset()
+	if e.old.bitSet(off) {
+		return
+	}
+	size := obj.Decode(e.heap, a).SizeWords()
+	e.old.setRange(off, size)
+	e.stats.ObjectsMarked++
+	e.stats.WordsMarked += size
+	e.losQueue = append(e.losQueue, a)
 }
 
 // claimForward installs the forwarding pointer in the object's header
@@ -222,6 +276,14 @@ func (e *evacuator) finishCopy(dst mem.Addr, o obj.Object, size uint64) {
 	e.meter.ChargeN(costmodel.GCCopy, costmodel.CopyWord, size)
 	e.stats.BytesCopied += size * mem.WordSize
 	e.stats.ObjectsCopied++
+	if e.old != nil && dst.Space() == e.old.id {
+		// Non-moving tenured destination: bump-promoted spans set their
+		// allocation bits here (free-list promotions already did, in alloc).
+		e.old.setRange(dst.Offset(), size)
+	}
+	if e.oldFromID != 0 && o.Addr.Space() == e.oldFromID {
+		e.stats.OldBytesCopied += size * mem.WordSize
+	}
 	e.tr.CopySite(o.Site, size, dst.Space() == e.tenuredID)
 	if e.postCopy != nil {
 		e.postCopy(dst, o)

@@ -58,6 +58,18 @@ func (e *evacuator) refEvacuate(a mem.Addr) mem.Addr {
 	if e.route != nil {
 		target = e.route(o)
 	}
+	if e.old != nil && target.ID() == e.old.id {
+		if fa := e.old.alloc(size); !fa.IsNil() {
+			// Same free-list promotion as the optimized kernel, through the
+			// checked heap interface; the destination sits below the Cheney
+			// frontier, so it grays itself onto the losQueue.
+			e.heap.Copy(fa, a, size)
+			obj.SetForward(e.heap, a, fa)
+			e.finishCopy(fa, o, size)
+			e.losQueue = append(e.losQueue, fa)
+			return fa
+		}
+	}
 	dst, ok := target.Alloc(size)
 	if !ok {
 		panic(fmt.Sprintf("core: to-space %d overflow evacuating %d words (used %d / cap %d)",

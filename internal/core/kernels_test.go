@@ -118,6 +118,24 @@ func kernelConfigs() []struct {
 			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, MarkerN: 5,
 			Pretenure: pol, ScanElision: true,
 		})},
+		{"gen+marksweep", gen(GenConfig{
+			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, OldCollector: OldMarkSweep,
+		})},
+		{"gen+markcompact", gen(GenConfig{
+			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, OldCollector: OldMarkCompact,
+		})},
+		{"gen+marksweep+pretenure", gen(GenConfig{
+			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024, MarkerN: 5,
+			OldCollector: OldMarkSweep, Pretenure: pol,
+		})},
+		{"gen+markcompact+aging", gen(GenConfig{
+			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024,
+			OldCollector: OldMarkCompact, AgingMinors: 2,
+		})},
+		{"gen+markcompact+cards", gen(GenConfig{
+			BudgetWords: 64 * 1024, NurseryWords: 4 * 1024,
+			OldCollector: OldMarkCompact, UseCardTable: true,
+		})},
 	}
 }
 

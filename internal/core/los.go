@@ -67,6 +67,14 @@ func (l *LOS) Mark(a mem.Addr) bool {
 	return true
 }
 
+// Marked reports whether the large object at a is marked this cycle.
+// Meaningful between a major collection's trace and its sweep — the
+// mark-compact fixup uses it to visit only live large objects.
+func (l *LOS) Marked(a mem.Addr) bool {
+	_, ok := l.marked[a]
+	return ok
+}
+
 // UsedWords returns the total words held by live large objects.
 func (l *LOS) UsedWords() uint64 { return l.used }
 
@@ -114,10 +122,25 @@ func (l *LOS) ObjectIn(id mem.SpaceID) (mem.Addr, bool) {
 // callbacks (which accumulate float age sums) fire in a deterministic
 // sequence — map iteration order here would be a reproducibility hazard.
 func (l *LOS) Sweep(prof Profiler) {
+	l.SweepWith(prof, nil, nil)
+}
+
+// SweepWith is Sweep with optional per-object quantum hooks: when the
+// sweep runs inside a phase closed with per-worker tallies (the
+// non-moving majors' sweep phase), each object's examination must be
+// bracketed as one work quantum so the phase reconciles under W > 1.
+// Nil hooks reproduce Sweep exactly.
+func (l *LOS) SweepWith(prof Profiler, beginQ, endQ func()) {
 	for _, id := range l.SpaceIDs() {
 		a := l.spaces[id]
+		if beginQ != nil {
+			beginQ()
+		}
 		l.meter.Charge(costmodel.GCCopy, costmodel.SweepObject)
 		if _, ok := l.marked[a]; ok {
+			if endQ != nil {
+				endQ()
+			}
 			continue
 		}
 		size := obj.Decode(l.heap, a).SizeWords()
@@ -128,6 +151,9 @@ func (l *LOS) Sweep(prof Profiler) {
 		l.heap.FreeSpace(id)
 		delete(l.spaces, id)
 		l.stats.LOSSwept++
+		if endQ != nil {
+			endQ()
+		}
 	}
 	clear(l.marked)
 	// Objects allocated this cycle that were swept are gone; drop any

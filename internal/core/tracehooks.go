@@ -19,6 +19,10 @@ func gcCounters(before, after *GCStats) trace.GCCounters {
 		SSBProcessed:  after.SSBProcessed - before.SSBProcessed,
 		LOSSwept:      after.LOSSwept - before.LOSSwept,
 		Pretenured:    after.Pretenured - before.Pretenured,
+		ObjectsMarked: after.ObjectsMarked - before.ObjectsMarked,
+		WordsMarked:   after.WordsMarked - before.WordsMarked,
+		WordsSwept:    after.WordsSwept - before.WordsSwept,
+		WordsSlid:     after.WordsSlid - before.WordsSlid,
 	}
 }
 
@@ -36,7 +40,10 @@ func (c *Generational) sampleHeap() {
 		spaces = append(spaces, trace.SpaceOcc{Name: "aging", Live: c.aging.Used(), Committed: c.aging.Capacity()})
 	}
 	spaces = append(spaces,
-		trace.SpaceOcc{Name: "tenured", Live: c.ten.Used(), Committed: c.ten.Capacity()},
+		// Occupancy, not the raw frontier: under the non-moving collectors
+		// free-list words inside the frontier are reusable, not live
+		// (tenLive == Used under the copying old generation).
+		trace.SpaceOcc{Name: "tenured", Live: c.tenLive(), Committed: c.ten.Capacity()},
 		// The LOS commits exactly the words its live objects occupy (one
 		// simulated mapping per object), so live == committed.
 		trace.SpaceOcc{Name: "los", Live: c.los.UsedWords(), Committed: c.los.UsedWords()})

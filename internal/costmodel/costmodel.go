@@ -53,6 +53,15 @@ const (
 	SweepObject Cycles = 8    // mark-sweep large-object space, per object
 	ResizeWord  Cycles = 0    // space management is charged via GCOverhead
 
+	// Non-moving old-generation costs (bitmap mark-sweep / mark-compact).
+	// Marking tests-and-sets a header bit per visited tenured pointer;
+	// sweeping walks the mark bitmap one 64-bit word at a time; compaction
+	// additionally slides each live word once (cheaper than CopyWord: no
+	// cross-space transfer, no forwarding-pointer installation).
+	MarkTest      Cycles = 1 // test-and-set one object's mark bit
+	SweepWordTest Cycles = 1 // examine one 64-word stripe of the mark bitmap
+	SlideWordTest Cycles = 2 // slide one live word during compaction
+
 	// Collector-side costs: stack-root processing. Decoding is expensive
 	// (trace-table lookup, callee-save and COMPUTE resolution — the reason
 	// TIL stack scans can dominate GC); reuse of cached results is cheap.

@@ -91,11 +91,11 @@ func kindsOf(fails []Failure) map[FailKind]int {
 }
 
 // testSeeds is the fixed seed set the injection tests run over; a small
-// set still covers several generation profiles (here barrier, los, and
-// barrier again) and every member trips each injected defect. Adding a
+// set still covers several generation profiles (here barrier, barrier,
+// and los) and every member trips each injected defect. Adding a
 // profile remaps every seed's program (ProfileOf's modulus changes), so
 // this set is re-picked when the profile list grows.
-var testSeeds = []uint64{0, 6, 9}
+var testSeeds = []uint64{0, 2, 3}
 
 // TestInjectionControl: the identity wrap changes nothing — the broken
 // delegation shell itself must not trip any oracle, or every other test

@@ -60,12 +60,15 @@ func (r *Report) FailureCount() int {
 }
 
 // refConfigs returns the matrix subset re-run under reference kernels:
-// the Cheney baseline plus the marker-heavy generational entry, which
-// together cover every copy/scan kernel seam.
+// the Cheney baseline, the marker-heavy generational entry, and the two
+// non-moving old generations, which together cover every copy/scan,
+// sweep, and compact kernel seam.
 func refConfigs() []Config {
 	return []Config{
 		{Name: "semispace", Semispace: true},
 		{Name: "gen+markers", MarkerN: fuzzMarkerN},
+		{Name: "gen+marksweep+pretenure", Old: core.OldMarkSweep, Pretenure: true},
+		{Name: "gen+markcompact", Old: core.OldMarkCompact},
 	}
 }
 

@@ -31,6 +31,12 @@ const (
 	// thread's private barrier state and stack roots get exercised — and
 	// joined threads leave barrier records behind that must still drain.
 	ProfileThreads
+	// ProfileFrag stresses old-generation fragmentation: allocations
+	// interleave the pretenured sites with nursery sites and LOS arrays,
+	// and heavy dropping between forced collections punches interleaved
+	// holes — free-list reuse for the mark-sweep old generation, long
+	// slides for mark-compact, and dead-run coalescing for both.
+	ProfileFrag
 
 	numProfiles
 )
@@ -52,6 +58,8 @@ func (p Profile) String() string {
 		return "mixed"
 	case ProfileThreads:
 		return "threads"
+	case ProfileFrag:
+		return "frag"
 	}
 	return "profile?"
 }
@@ -103,6 +111,13 @@ func Generate(seed uint64) *Program {
 			} else {
 				op.B = uint16(NumSites/2 + op.B%(NumSites-NumSites/2))
 			}
+		}
+		if profile == ProfileFrag && i%2 == 0 {
+			// Alternate allocations onto the pretenured sites (3 and 5,
+			// i.e. B = 2 or 4) so the ±pretenure entries lay every other
+			// object straight into the old generation; the profile's heavy
+			// drop weight then punches interleaved holes there.
+			op.B = uint16(2 + 2*(op.B&1))
 		}
 		if profile == ProfileServer {
 			// Request cadence: three burst stretches, then an idle gap of
@@ -174,6 +189,13 @@ var profileWeights = [numProfiles][]weighted{
 		{OpStorePtr, 10}, {OpStoreInt, 3}, {OpLoadPtr, 5}, {OpLoadInt, 3},
 		{OpCall, 5}, {OpReturn, 4}, {OpPushHandler, 2}, {OpRaise, 2},
 		{OpDrop, 5}, {OpDup, 4}, {OpCollect, 6}, {OpWalk, 3}, {OpWork, 4},
+	},
+	ProfileFrag: {
+		{OpAllocRecord, 16}, {OpAllocPtrArray, 9}, {OpAllocRawArray, 12},
+		{OpStorePtr, 8}, {OpStoreInt, 4}, {OpLoadPtr, 3}, {OpLoadInt, 3},
+		{OpSetAux, 2}, {OpGetAux, 2},
+		{OpDrop, 14}, {OpDup, 3}, {OpCollect, 10},
+		{OpCall, 2}, {OpReturn, 2}, {OpWalk, 2}, {OpWork, 2},
 	},
 }
 

@@ -43,6 +43,11 @@ type Config struct {
 	// only, so the divergence oracle proves every client-visible result
 	// is worker-count-invariant, and run-twice pins the sharded trace.
 	Workers int
+	// Old selects the old-generation collector (copy, marksweep, or
+	// markcompact). The three produce different GC-side costs and heap
+	// layouts but identical client-visible results, so the divergence
+	// oracle holds across them. Ignored for semispace entries.
+	Old core.OldCollector
 
 	// wrap, when non-nil, decorates the freshly-built collector before
 	// the program runs. It exists for the broken-collector injection
@@ -70,6 +75,14 @@ func Matrix() []Config {
 		{Name: "semispace+w4", Semispace: true, Workers: 4},
 		{Name: "gen+w4", Workers: 4},
 		{Name: "gen+markers+w2", MarkerN: fuzzMarkerN, Workers: 2},
+		{Name: "gen+marksweep", Old: core.OldMarkSweep},
+		{Name: "gen+marksweep+pretenure", Old: core.OldMarkSweep, Pretenure: true},
+		{Name: "gen+marksweep+markers", Old: core.OldMarkSweep, MarkerN: fuzzMarkerN},
+		{Name: "gen+marksweep+adapt", Old: core.OldMarkSweep, Adapt: true},
+		{Name: "gen+marksweep+w4", Old: core.OldMarkSweep, Workers: 4},
+		{Name: "gen+markcompact", Old: core.OldMarkCompact},
+		{Name: "gen+markcompact+pretenure", Old: core.OldMarkCompact, Pretenure: true},
+		{Name: "gen+markcompact+w2", Old: core.OldMarkCompact, Workers: 2},
 	}
 }
 

@@ -126,6 +126,7 @@ func execute(p *Program, cfg Config, traced, sanitized bool) (out runOutput) {
 			AgingMinors:      cfg.AgingMinors,
 			UseCardTable:     cfg.Cards,
 			Workers:          cfg.Workers,
+			OldCollector:     cfg.Old,
 			Trace:            rec,
 		}
 		if cfg.Pretenure {

@@ -158,6 +158,13 @@ type RunConfig struct {
 	// threshold (see core.GenConfig.DeferMajor). Same collections, moved
 	// pause boundaries; bounds the worst pause a latency window absorbs.
 	DeferMajor bool
+	// OldCollector selects the tenured-generation algorithm for
+	// generational kinds: OldCopy (the zero value, the paper's copying
+	// old generation), OldMarkSweep, or OldMarkCompact. Client results
+	// are byte-identical across all three — only GC cost, pause shape,
+	// and heap footprint move. Combining it with KindSemispace is an
+	// error: the semispace baseline has no old generation.
+	OldCollector core.OldCollector
 }
 
 // Label names the run for trace output and progress lines.
@@ -167,6 +174,9 @@ func (c RunConfig) Label() string {
 		kind += "+adapt"
 	}
 	s := fmt.Sprintf("%s/%s", c.Workload, kind)
+	if c.OldCollector != core.OldCopy {
+		s += " old=" + c.OldCollector.String()
+	}
 	if c.K > 0 {
 		s += fmt.Sprintf(" k=%g", c.K)
 	}
@@ -415,6 +425,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	var attachThreads func(*rt.ThreadSet)
 	switch cfg.Kind {
 	case KindSemispace:
+		if cfg.OldCollector != core.OldCopy {
+			return nil, fmt.Errorf("harness: %s: OldCollector %s requires a generational collector", cfg.Label(), cfg.OldCollector)
+		}
 		s := core.NewSemispace(stack, meter, profHook, core.SemispaceConfig{
 			BudgetWords: budget,
 			Workers:     cfg.GCWorkers,
@@ -429,6 +442,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 			NurseryWords: nurseryFor(budget),
 			Workers:      cfg.GCWorkers,
 			DeferMajor:   cfg.DeferMajor,
+			OldCollector: cfg.OldCollector,
 			Trace:        rec,
 		}
 		if cfg.Profile && cfg.K == 0 {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"tilgc/internal/adapt"
+	"tilgc/internal/core"
 	"tilgc/internal/costmodel"
 	"tilgc/internal/trace"
 )
@@ -96,6 +97,13 @@ type Options struct {
 	// RunConfig.GCWorkers). Heap contents and client results are
 	// identical at every worker count; only pause accounting shards.
 	GCWorkers int
+	// OldCollector, when not OldCopy, selects the non-moving
+	// old-generation collector for every generational config in the
+	// batch that does not set its own (see RunConfig.OldCollector).
+	// Semispace runs are left on the copying default — they have no old
+	// generation. Client results are identical across old-generation
+	// collectors; only GC cost, pause shape, and footprint move.
+	OldCollector core.OldCollector
 }
 
 // workers resolves the pool size for a batch of n runs.
@@ -192,6 +200,9 @@ func RunAll(cfgs []RunConfig, opts Options) ([]*RunResult, error) {
 		}
 		if opts.GCWorkers > 1 && cfg.GCWorkers == 0 {
 			cfg.GCWorkers = opts.GCWorkers
+		}
+		if opts.OldCollector != core.OldCopy && cfg.Kind != KindSemispace && cfg.OldCollector == core.OldCopy {
+			cfg.OldCollector = opts.OldCollector
 		}
 		if cfg.Adapt && cfg.AdaptWarm == nil {
 			cfg.AdaptWarm = opts.AdaptWarm.Find(cfg.Workload)

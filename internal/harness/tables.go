@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 
+	"tilgc/internal/core"
+	"tilgc/internal/mem"
 	"tilgc/internal/prof"
 	"tilgc/internal/slo"
+	"tilgc/internal/trace"
 	"tilgc/internal/workload"
 )
 
@@ -625,6 +628,108 @@ func ExperimentSLO(w io.Writer, scale workload.Scale, opts Options) error {
 // SLOWorkers is the parallel-copy worker sweep the SLO experiment appends:
 // serial, and the two sharded configurations the acceptance gates compare.
 var SLOWorkers = []int{1, 2, 4}
+
+// OldgenSuite lists the workloads the old-generation collector comparison
+// sweeps: the four pretenure targets (the paper benchmarks that tenure
+// the most data, so the old-generation algorithm dominates their GC
+// cost) plus the server adversaries that stress the old generation under
+// request traffic — cache churn (tenured garbage), drip-leak (monotone
+// tenured growth), and their combination (the fragmentation mix).
+var OldgenSuite = []string{
+	"Knuth-Bendix", "Lexgen", "Nqueen", "Simple",
+	"ServerChurn", "ServerDrip", "ServerDripChurn",
+}
+
+// OldgenCollectors is the collector axis of the oldgen experiment.
+var OldgenCollectors = []core.OldCollector{
+	core.OldCopy, core.OldMarkSweep, core.OldMarkCompact,
+}
+
+// ExperimentOldgen renders the copy-vs-mark comparison over the old
+// generation: every OldgenSuite workload under gen+markers+pretenure at a
+// tight memory multiple (frequent majors — the regime where the
+// old-generation algorithm dominates GC cost), across the three
+// old-generation collectors. Client results are byte-identical across the
+// collector axis — the experiment verifies that per workload and fails
+// loudly if the differential oracle is violated — so the table isolates
+// pure GC-side differences: old-generation words copied (zero under the
+// non-moving collectors) versus marked/swept/slid, pause percentiles,
+// MMU@10k, and peak committed heap footprint (mark-sweep trades copy cost
+// for fragmentation-driven footprint; mark-compact trades it for slide
+// cost). Every quantity is a pure function of the simulated-cycle event
+// stream, so the rendered table is byte-identical at every parallelism.
+func ExperimentOldgen(w io.Writer, scale workload.Scale, opts Options) error {
+	// The paper's tight multiple: majors frequent enough that old-gen
+	// policy is the first-order GC cost (the SLO experiment's regime).
+	const oldgenK = 2
+	var cfgs []RunConfig
+	for _, name := range OldgenSuite {
+		for _, oc := range OldgenCollectors {
+			cfgs = append(cfgs, RunConfig{
+				Workload: name, Scale: scale, Kind: KindGenMarkersPretenure,
+				K: oldgenK, OldCollector: oc, Trace: true, TraceHeap: true,
+			})
+		}
+	}
+	rs, err := RunAll(cfgs, opts)
+	if err != nil {
+		return err
+	}
+
+	header(w, "Experiment: old-generation collectors (copy vs mark-sweep vs mark-compact)")
+	fmt.Fprintln(w, "gen+markers+pretenure at k=2. Client results are identical across collectors")
+	fmt.Fprintln(w, "(verified per row group); only GC cost, pause shape, and footprint move.")
+	fmt.Fprintln(w, "Counts are heap words; footprint is the peak committed heap across")
+	fmt.Fprintln(w, "end-of-collection samples; MMU@10k = minimum mutator utilization over every")
+	fmt.Fprintln(w, "10k-cycle window.")
+	fmt.Fprintf(w, "%-28s | %10s %10s %10s %10s | %7s %8s | %7s | %10s\n",
+		"Workload/old", "old-copied", "marked", "swept", "slid",
+		"p50", "p99", "MMU@10k", "footprint")
+	for i, name := range OldgenSuite {
+		base := rs[i*len(OldgenCollectors)]
+		for j, oc := range OldgenCollectors {
+			r := rs[i*len(OldgenCollectors)+j]
+			if r.Check != base.Check {
+				return fmt.Errorf("harness: oldgen differential violated: %s check %#x under old=%s, %#x under old=%s",
+					name, r.Check, oc, base.Check, OldgenCollectors[0])
+			}
+			data := r.Trace.Data(r.Config.Label())
+			rep, err := slo.Compute(data, slo.DefaultWindows)
+			if err != nil {
+				return fmt.Errorf("harness: slo report for %s: %w", r.Config.Label(), err)
+			}
+			var mmu10k float64
+			for _, ws := range rep.Windows {
+				if ws.Window == 10_000 {
+					mmu10k = float64(ws.MMUppm) / 1e4
+				}
+			}
+			fmt.Fprintf(w, "%-28s | %10d %10d %10d %10d | %7d %8d | %6.1f%% | %8dKB\n",
+				name+"/"+oc.String(),
+				r.Stats.OldBytesCopied/mem.WordSize,
+				r.Stats.WordsMarked, r.Stats.WordsSwept, r.Stats.WordsSlid,
+				rep.Pauses.P50, rep.Pauses.P99, mmu10k,
+				peakCommittedWords(data)*mem.WordSize/1024)
+		}
+	}
+	return nil
+}
+
+// peakCommittedWords returns the largest total committed heap (in words)
+// across a run's end-of-collection occupancy samples.
+func peakCommittedWords(data *trace.RunData) uint64 {
+	var peak uint64
+	for _, hs := range data.Heap {
+		var total uint64
+		for _, sp := range hs.Spaces {
+			total += sp.Committed
+		}
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}
 
 func maxf(a, b float64) float64 {
 	if a > b {

@@ -106,7 +106,12 @@ type Profiler struct {
 
 	// pendingMoves buffers OnMove destinations within one collection so
 	// that OnSpaceCondemned of the source space doesn't double-process.
-	moved []movedRec
+	// movedAt indexes the buffer by current destination so an object moved
+	// twice in one collection — promoted into the tenured space and then
+	// slid by mark-compact — re-targets its pending record instead of
+	// leaving it homed at the stale pre-slide address.
+	moved   []movedRec
+	movedAt map[mem.Addr]int
 
 	// deathSink, when set, receives every recorded death. Deaths fire in
 	// sorted address order (see OnSpaceCondemned), so the callback
@@ -129,6 +134,7 @@ func New(siteNames map[obj.SiteID]string) *Profiler {
 		sites:     make(map[obj.SiteID]*SiteStats),
 		siteNames: siteNames,
 		live:      make(map[mem.SpaceID]map[uint64]*objRec),
+		movedAt:   make(map[mem.Addr]int),
 	}
 }
 
@@ -168,12 +174,25 @@ func (p *Profiler) OnAlloc(addr mem.Addr, site obj.SiteID, k obj.Kind, words uin
 // OnMove implements core.Profiler: the object moved (promotion or tenured
 // copy); it survived and its bytes were copied.
 func (p *Profiler) OnMove(from, to mem.Addr) {
-	t := p.spaceTable(from.Space())
-	rec, ok := t[from.Offset()]
-	if !ok {
-		return // object predates profiling
+	var rec *objRec
+	if i, ok := p.movedAt[from]; ok {
+		// Second move within one collection: the record is already pending
+		// at from; re-target it rather than mis-homing it at OnGCEnd.
+		rec = p.moved[i].rec
+		p.moved[i].to = to
+		delete(p.movedAt, from)
+		p.movedAt[to] = i
+	} else {
+		t := p.spaceTable(from.Space())
+		r, ok := t[from.Offset()]
+		if !ok {
+			return // object predates profiling
+		}
+		rec = r
+		delete(t, from.Offset())
+		p.movedAt[to] = len(p.moved)
+		p.moved = append(p.moved, movedRec{to: to, rec: rec})
 	}
-	delete(t, from.Offset())
 	s := p.site(rec.site)
 	s.CopiedBytes += rec.sizeBytes
 	if !rec.survived {
@@ -183,7 +202,6 @@ func (p *Profiler) OnMove(from, to mem.Addr) {
 			p.observer.ObserveSurvive(rec.site, rec.sizeBytes/mem.WordSize, p.clock-rec.birth)
 		}
 	}
-	p.moved = append(p.moved, movedRec{to: to, rec: rec})
 }
 
 // OnSpaceCondemned implements core.Profiler: records still tabled in the
@@ -231,6 +249,7 @@ func (p *Profiler) OnGCEnd() {
 		p.spaceTable(m.to.Space())[m.to.Offset()] = m.rec
 	}
 	p.moved = p.moved[:0]
+	clear(p.movedAt)
 	if p.observer != nil {
 		p.observer.ObserveGCEnd()
 	}

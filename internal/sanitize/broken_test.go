@@ -135,6 +135,35 @@ func TestBrokenCollectors(t *testing.T) {
 			},
 		},
 		{
+			// A flipped mark/allocation bit: the heap, free lists, and roots
+			// are all intact, so only the bitmap cross-check can see the
+			// lost mark the next sweep would turn into a reclaimed live object.
+			pass: "oldbitmap",
+			build: func(e *env) core.Collector {
+				return newGen(e, core.GenConfig{OldCollector: core.OldMarkSweep})
+			},
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				consList(c, e, 1, 20, 1)
+				c.Collect(true) // tenure the list under a fresh bitmap
+				head := mem.Addr(e.stack.Slot(1))
+				c.(*core.Generational).FlipOldMarkBit(head.Offset())
+			},
+		},
+		{
+			// A skewed free-word counter, as a dropped span-accounting update
+			// would produce: spans and heap agree with each other but not
+			// with the counter, so only the free-list pass fires.
+			pass: "freelist",
+			build: func(e *env) core.Collector {
+				return newGen(e, core.GenConfig{OldCollector: core.OldMarkSweep})
+			},
+			corrupt: func(t *testing.T, c core.Collector, e *env) {
+				consList(c, e, 1, 20, 1)
+				c.Collect(true)
+				c.(*core.Generational).SkewOldFreeWords(3)
+			},
+		},
+		{
 			// Statistics that stopped reconciling: more major collections
 			// than collections, as a dropped counter increment would produce.
 			pass:  "costs",
@@ -162,6 +191,30 @@ func TestBrokenCollectors(t *testing.T) {
 			for _, v := range vs {
 				if v.Pass != tc.pass {
 					t.Errorf("pass %q misfired on %s corruption: %s", v.Pass, tc.pass, v)
+				}
+			}
+		})
+	}
+}
+
+// TestNonmovingCollectorsClean churns the non-moving old generations
+// through tenure/drop/major cycles — building free spans, reusing them,
+// and sliding over them — with every pass checked after each collection.
+func TestNonmovingCollectorsClean(t *testing.T) {
+	for _, oc := range []core.OldCollector{core.OldMarkSweep, core.OldMarkCompact} {
+		t.Run(oc.String(), func(t *testing.T) {
+			e := newEnv(8)
+			c := newGen(e, core.GenConfig{OldCollector: oc})
+			w := sanitize.Wrap(c, sanitize.Options{}) // panics on any violation
+			for round := 0; round < 4; round++ {
+				consList(w, e, 1, 200, obj.SiteID(1+round))
+				w.Collect(true)
+				consList(w, e, 2, 50, 9)
+				w.Collect(true)
+				e.stack.SetSlot(1, uint64(mem.Nil))
+				w.Collect(true) // slot-1 list dies tenured
+				if vs := w.Check(); len(vs) != 0 {
+					t.Fatalf("round %d: %v", round, vs)
 				}
 			}
 		})

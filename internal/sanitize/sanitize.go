@@ -67,6 +67,8 @@ var passes = []struct {
 	{"remembered", (*checker).checkRemembered},
 	{"markers", (*checker).checkMarkers},
 	{"pretenure", (*checker).checkPretenure},
+	{"oldbitmap", (*checker).checkOldBitmap},
+	{"freelist", (*checker).checkOldFreeList},
 	{"costs", (*checker).checkCosts},
 	{"workers", (*checker).checkWorkers},
 }

@@ -137,7 +137,7 @@ func counterArgs(c *GCCounters) map[string]any {
 	if c == nil {
 		return nil
 	}
-	return map[string]any{
+	args := map[string]any{
 		"majors":         c.Majors,
 		"frames_decoded": c.FramesDecoded,
 		"frames_reused":  c.FramesReused,
@@ -150,4 +150,20 @@ func counterArgs(c *GCCounters) map[string]any {
 		"los_swept":      c.LOSSwept,
 		"pretenured":     c.Pretenured,
 	}
+	// Non-moving old-generation counters appear only when set, mirroring
+	// the JSONL omitempty treatment: copying-collector traces keep their
+	// pre-oldgen bytes.
+	if c.ObjectsMarked != 0 {
+		args["objects_marked"] = c.ObjectsMarked
+	}
+	if c.WordsMarked != 0 {
+		args["words_marked"] = c.WordsMarked
+	}
+	if c.WordsSwept != 0 {
+		args["words_swept"] = c.WordsSwept
+	}
+	if c.WordsSlid != 0 {
+		args["words_slid"] = c.WordsSlid
+	}
+	return args
 }

@@ -54,7 +54,16 @@ const (
 	// PhaseCopy is the Cheney drain to a fixpoint.
 	PhaseCopy
 	// PhaseSweep is the large-object-space mark-sweep (major collections).
+	// Under a non-moving old generation it also covers the tenured-space
+	// bitmap sweep that rebuilds the free lists.
 	PhaseSweep
+	// PhaseMark is the transitive-mark drain of a non-moving old
+	// generation's major collection: young survivors are evacuated and
+	// tenured objects get their bitmap bits set, to a fixpoint.
+	PhaseMark
+	// PhaseCompact is the mark-compact slide: pointer fixup plus the
+	// order-preserving slide of live tenured objects toward the space base.
+	PhaseCompact
 	numPhases
 )
 
@@ -66,6 +75,8 @@ var phaseNames = [numPhases]string{
 	PhasePretenured: "pretenured",
 	PhaseCopy:       "copy",
 	PhaseSweep:      "sweep",
+	PhaseMark:       "mark",
+	PhaseCompact:    "compact",
 }
 
 // String returns the phase's wire name.
@@ -150,6 +161,14 @@ type GCCounters struct {
 	SSBProcessed  uint64 `json:"ssb_processed"`
 	LOSSwept      uint64 `json:"los_swept"`
 	Pretenured    uint64 `json:"pretenured"`
+
+	// Non-moving old-generation counters (bitmap mark-sweep/mark-compact
+	// only). omitempty keeps copying-collector streams — including the
+	// golden traces — byte-identical to pre-oldgen builds.
+	ObjectsMarked uint64 `json:"objects_marked,omitempty"`
+	WordsMarked   uint64 `json:"words_marked,omitempty"`
+	WordsSwept    uint64 `json:"words_swept,omitempty"`
+	WordsSlid     uint64 `json:"words_slid,omitempty"`
 }
 
 // Standard metric names the Recorder maintains. The pause histogram is

@@ -12,7 +12,7 @@ import (
 // latency and the pause cycles that landed inside it — the data the
 // internal/slo report attributes tail latency from.
 //
-// Three traffic mixes are registered:
+// Five traffic mixes are registered:
 //
 //   - ServerSteady: a steady drip of small bursts. Sessions and cache
 //     entries live for the whole run, so the session/cache sites are
@@ -27,6 +27,18 @@ import (
 //     early ~100% survival mistrains an offline profile: pretenured
 //     replacements become tenured garbage, the same trap PhaseShift
 //     springs on the adaptive advisor — but under request traffic.
+//   - ServerDrip: the drip-leak adversary. Every few requests the
+//     addressed session retains one more cell on a per-session list that
+//     survives to the end of the run, so the tenured generation grows
+//     monotonically under request traffic — the live set the copying old
+//     generation must re-copy at every major, and the footprint the
+//     non-moving collectors hold in place.
+//   - ServerDripChurn: drip-leak and cache-churn together — the
+//     fragmentation adversary. Leaked cells (immortal) and churned cache
+//     entries (tenured garbage) allocate interleaved, so the old
+//     generation develops exactly the live/dead interleaving that
+//     mark-sweep free lists must coalesce and reuse and mark-compact
+//     must slide across.
 type serverBench struct {
 	name   string
 	desc   string
@@ -34,6 +46,7 @@ type serverBench struct {
 	bursts int // paper-scale number of arrivals (scaled by Repeat)
 	gap    int // idle mutator work between arrivals, per burst slot
 	churn  int // replace the addressed cache entry every Nth request (0 = never)
+	leak   int // retain a cell on the addressed session every Nth request (0 = never)
 }
 
 // Server family allocation sites.
@@ -43,6 +56,7 @@ const (
 	svSiteCache                            // cache entries (whole-run under steady; churned by the adversary)
 	svSiteReq                              // per-request scratch record (dies with the request)
 	svSiteResp                             // response list cells (die with the request)
+	svSiteLeak                             // drip-leaked session cells (live to end of run)
 )
 
 func init() {
@@ -68,6 +82,23 @@ func init() {
 		gap:    2000,
 		churn:  8,
 	})
+	register(serverBench{
+		name:   "ServerDrip",
+		desc:   "Request/response server with a drip-leak adversary: steady traffic whose sessions retain one more cell every few requests, growing the tenured live set monotonically",
+		burst:  4,
+		bursts: 6000,
+		gap:    2000,
+		leak:   4,
+	})
+	register(serverBench{
+		name:   "ServerDripChurn",
+		desc:   "Request/response server with drip-leak and cache-churn combined: immortal leaked cells interleave with churned tenured garbage, fragmenting a non-moving old generation",
+		burst:  4,
+		bursts: 6000,
+		gap:    2000,
+		churn:  8,
+		leak:   4,
+	})
 }
 
 func (s serverBench) Name() string        { return s.name }
@@ -80,6 +111,7 @@ func (serverBench) Sites() map[obj.SiteID]string {
 		svSiteCache:   "cache entry",
 		svSiteReq:     "request scratch",
 		svSiteResp:    "response cell",
+		svSiteLeak:    "leaked session cell",
 	}
 }
 
@@ -108,8 +140,16 @@ func (s serverBench) Run(m *Mutator, scale Scale) Result {
 		// traffic starts. Both backbones and every entry survive to the end
 		// of the run (cache entries survive until churned).
 		m.AllocPtrArray(svSiteTable, svSessions, 1)
+		// Under the drip-leak adversary, session field 2 is a pointer: the
+		// head of the per-session leaked-cell list. The mask is gated so the
+		// non-leaking mixes allocate the exact all-int session records they
+		// always have (their traces stay byte-identical).
+		var sessionMask uint64
+		if s.leak != 0 {
+			sessionMask = 1 << 2
+		}
 		for i := 0; i < svSessions; i++ {
-			m.AllocRecord(svSiteSession, svSessionFields, 0, 3)
+			m.AllocRecord(svSiteSession, svSessionFields, sessionMask, 3)
 			m.InitIntField(3, 0, 0)                          // request counter
 			m.InitIntField(3, 1, uint64(i)*2654435761+12289) // session key
 			m.StorePtrField(1, uint64(i), 3)
@@ -183,10 +223,18 @@ func (s serverBench) Run(m *Mutator, scale Scale) Result {
 		}
 
 		// Fold the surviving session counters into the self-check: the
-		// long-lived state must have seen every request exactly once.
+		// long-lived state must have seen every request exactly once. Under
+		// the drip-leak adversary the retained per-session lists fold in
+		// too, so every leaked cell must have survived with its value — the
+		// differential check across old-generation collectors.
 		for i := 0; i < svSessions; i++ {
 			m.LoadField(1, uint64(i), 3)
 			check = check*31 + m.LoadFieldInt(3, 0)
+			if s.leak != 0 {
+				for m.LoadField(3, 2, 4); !m.IsNil(4); m.Tail(4, 4) {
+					check = check*7 + m.HeadInt(4)
+				}
+			}
 		}
 		m.SetSlotNil(3)
 	})
@@ -219,6 +267,16 @@ func (s serverBench) serve(m *Mutator, id uint64) uint64 {
 	}
 	m.LoadField(2, cIdx, 4)
 	digest = digest*17 + m.LoadFieldInt(4, 0)
+
+	// Drip-leak adversary: retain one more cell on the addressed session's
+	// list (field 2). The cell is young at allocation and immortal in
+	// practice — a steady drip of promotions interleaved with whatever
+	// else the mix tenures.
+	if s.leak != 0 && id%uint64(s.leak) == uint64(s.leak)-1 {
+		m.LoadField(3, 2, 6)
+		m.ConsInt(svSiteLeak, id*2654435761+13, 6, 6)
+		m.StorePtrField(3, 2, 6)
+	}
 
 	// Build the response: a fresh list of cells folded into the digest and
 	// dropped — the per-request garbage the nursery exists for.

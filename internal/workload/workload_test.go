@@ -51,6 +51,16 @@ func collectorConfigs() map[string]func(stack *rt.Stack, meter *costmodel.Meter)
 			return core.NewGenerational(s, m, nil, core.GenConfig{
 				BudgetWords: 1 << 22, NurseryWords: 1024, MarkerN: 10})
 		},
+		"gen-marksweep": func(s *rt.Stack, m *costmodel.Meter) core.Collector {
+			return core.NewGenerational(s, m, nil, core.GenConfig{
+				BudgetWords: 1 << 22, NurseryWords: 8 * 1024,
+				OldCollector: core.OldMarkSweep})
+		},
+		"gen-markcompact": func(s *rt.Stack, m *costmodel.Meter) core.Collector {
+			return core.NewGenerational(s, m, nil, core.GenConfig{
+				BudgetWords: 1 << 22, NurseryWords: 8 * 1024,
+				OldCollector: core.OldMarkCompact})
+		},
 	}
 }
 
